@@ -1,0 +1,51 @@
+# Convenience targets for the irnet repository.
+
+GO ?= go
+
+.PHONY: all build test race bench paper quick verify examples fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One benchmark per paper table/figure plus ablations (quick scale).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# The full paper-scale evaluation; writes text, CSV, and SVG into results/.
+paper:
+	mkdir -p results
+	$(GO) run ./cmd/irexp -exp all -scale paper \
+		-csv results/paper_results.csv -svg results > results/paper_output.txt
+
+quick:
+	$(GO) run ./cmd/irexp -exp all -scale quick
+
+# Bulk verification + topology-independent certification.
+verify:
+	$(GO) run ./cmd/irverify -trials 100 -switches 64 -ports 4
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/cluster
+	$(GO) run ./examples/treecompare
+	$(GO) run ./examples/deadlock
+	$(GO) run ./examples/virtualchannels
+	$(GO) run ./examples/reconfigure
+
+# Short fuzzing passes over the parsers and the simulator config surface.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=10s ./internal/topology/
+	$(GO) test -run=^$$ -fuzz=FuzzParseTopology -fuzztime=10s ./internal/cliutil/
+	$(GO) test -run=^$$ -fuzz=FuzzConfig -fuzztime=10s ./internal/wormsim/
+
+clean:
+	rm -f results/*.svg results/*.csv results/*.txt

@@ -1,0 +1,197 @@
+// Package clitests smoke-tests the command-line tools end to end: each
+// binary is built once per test run and driven through its main flag
+// combinations, checking output shape and exit codes. Skipped under -short.
+package clitests
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+func binaries(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("CLI smoke tests skipped in -short mode")
+	}
+	buildOnce.Do(func() {
+		binDir, buildErr = os.MkdirTemp("", "irnet-cli")
+		if buildErr != nil {
+			return
+		}
+		for _, cmd := range []string{"irtopo", "irroute", "irsim", "irexp", "irverify", "irtrace"} {
+			out, err := exec.Command("go", "build", "-o", filepath.Join(binDir, cmd), "repro/cmd/"+cmd).CombinedOutput()
+			if err != nil {
+				buildErr = err
+				buildErr = &buildError{cmd: cmd, out: string(out), err: err}
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return binDir
+}
+
+type buildError struct {
+	cmd string
+	out string
+	err error
+}
+
+func (e *buildError) Error() string {
+	return "building " + e.cmd + ": " + e.err.Error() + "\n" + e.out
+}
+
+func run(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	dir := binaries(t)
+	out, err := exec.Command(filepath.Join(dir, name), args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestIrtopoSmoke(t *testing.T) {
+	out := run(t, "irtopo", "-topo", "petersen", "-tree", "-edges")
+	for _, want := range []string{"switches    10", "tree depth", "node 0 X=0 Y=0", "link 0 1 tree"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("irtopo output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestIrtopoFilePipeline(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "net.irnet")
+	run(t, "irtopo", "-topo", "random", "-switches", "16", "-ports", "4", "-out", file)
+	out := run(t, "irroute", "-topo", "file:"+file, "-alg", "L-turn")
+	if !strings.Contains(out, "deadlock-free, fully connected") {
+		t.Fatalf("irroute on saved topology failed:\n%s", out)
+	}
+}
+
+func TestIrrouteSmoke(t *testing.T) {
+	out := run(t, "irroute", "-topo", "random", "-switches", "20", "-ports", "4",
+		"-stats", "-diversity", "-from", "1", "-to", "15")
+	for _, want := range []string{"algorithm     DOWN/UP", "verified", "mean path length", "path diversity", "path 1 -> 15"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("irroute output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestIrrouteFIBExport(t *testing.T) {
+	dir := t.TempDir()
+	fibFile := filepath.Join(dir, "net.fib")
+	out := run(t, "irroute", "-topo", "random", "-switches", "12", "-ports", "4", "-fib", fibFile)
+	if !strings.Contains(out, "bytes of forwarding state") {
+		t.Fatalf("irroute -fib output:\n%s", out)
+	}
+	info, err := os.Stat(fibFile)
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("fib file not written: %v", err)
+	}
+}
+
+func TestIrsimSmoke(t *testing.T) {
+	out := run(t, "irsim", "-switches", "20", "-ports", "4", "-plen", "16",
+		"-rate", "0.1", "-warmup", "300", "-measure", "1500", "-profile")
+	for _, want := range []string{"accepted traffic", "avg latency", "hot-spot degree", "level utilization profile"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("irsim output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestIrsimModes(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mode", "deterministic"},
+		{"-mode", "adaptive", "-select", "least-loaded"},
+		{"-burst", "4", "-vc", "2"},
+		{"-pattern", "hotspot", "-hotspot", "3", "-hotfrac", "0.3"},
+		{"-alg", "up*/down*", "-policy", "M3"},
+	} {
+		full := append([]string{"-switches", "16", "-ports", "4", "-plen", "8",
+			"-rate", "0.08", "-warmup", "200", "-measure", "800"}, args...)
+		out := run(t, "irsim", full...)
+		if !strings.Contains(out, "accepted traffic") {
+			t.Fatalf("irsim %v output:\n%s", args, out)
+		}
+	}
+}
+
+func TestIrexpQuick(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "r.csv")
+	svgDir := dir
+	out := run(t, "irexp", "-exp", "all", "-scale", "quick", "-quiet",
+		"-samples", "1", "-rates", "0.1,0.3", "-ports", "4",
+		"-csv", csv, "-svg", svgDir)
+	for _, want := range []string{"Figure 8 (4-port)", "Table 1", "Table 4", "maxThruput"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("irexp output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := os.Stat(csv); err != nil {
+		t.Fatal("csv not written")
+	}
+	if _, err := os.Stat(filepath.Join(svgDir, "figure8-4port.svg")); err != nil {
+		t.Fatal("svg not written")
+	}
+}
+
+func TestIrexpHotspot(t *testing.T) {
+	out := run(t, "irexp", "-exp", "hotspot", "-quiet", "-samples", "1")
+	if !strings.Contains(out, "hotFrac") {
+		t.Fatalf("irexp hotspot output:\n%s", out)
+	}
+}
+
+func TestIrtracePipeline(t *testing.T) {
+	dir := t.TempDir()
+	traceFile := filepath.Join(dir, "run.csv")
+	run(t, "irsim", "-switches", "16", "-ports", "4", "-plen", "8",
+		"-rate", "0.08", "-warmup", "200", "-measure", "1500", "-trace", traceFile)
+	out := run(t, "irtrace", traceFile)
+	for _, want := range []string{"packets", "decomposition", "latency by hops"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("irtrace output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestIrverifySmoke(t *testing.T) {
+	out := run(t, "irverify", "-trials", "2", "-switches", "16", "-fixed=false")
+	if !strings.Contains(out, "0 failures") {
+		t.Fatalf("irverify output:\n%s", out)
+	}
+}
+
+func TestBadFlagsFail(t *testing.T) {
+	dir := binaries(t)
+	cases := [][]string{
+		{"irroute", "-alg", "bogus"},
+		{"irtopo", "-topo", "nonsense"},
+		{"irsim", "-pattern", "bogus"},
+		{"irexp", "-exp", "bogus", "-quiet"},
+		{"irsim", "-mode", "bogus"},
+	}
+	for _, c := range cases {
+		cmd := exec.Command(filepath.Join(dir, c[0]), c[1:]...)
+		if err := cmd.Run(); err == nil {
+			t.Errorf("%v exited zero", c)
+		}
+	}
+}

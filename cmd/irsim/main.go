@@ -1,0 +1,179 @@
+// Command irsim runs a single wormhole simulation and prints the paper's
+// metrics for it.
+//
+// Usage:
+//
+//	irsim [-topo random] [-switches 128] [-ports 4] [-seed 1] [-policy M1]
+//	      [-alg DOWN/UP] [-rate 0.1] [-plen 128] [-warmup 4000]
+//	      [-measure 16000] [-adaptive] [-pattern uniform] [-util]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	irnet "repro"
+	"repro/internal/cliutil"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("irsim: ")
+	var (
+		topo     = flag.String("topo", "random", "topology spec (see irtopo -help)")
+		switches = flag.Int("switches", 128, "switch count for random topologies")
+		ports    = flag.Int("ports", 4, "ports per switch for random topologies")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		policy   = flag.String("policy", "M1", "coordinated tree policy")
+		algName  = flag.String("alg", "DOWN/UP", "routing algorithm")
+		rate     = flag.Float64("rate", 0.1, "injection rate (flits/clock/node)")
+		plen     = flag.Int("plen", 128, "packet length in flits")
+		warmup   = flag.Int("warmup", 4000, "warmup cycles")
+		measure  = flag.Int("measure", 16000, "measurement cycles")
+		vcs      = flag.Int("vc", 1, "virtual channels per physical channel")
+		burst    = flag.Int("burst", 0, "mean burst length in packets (0 = smooth Bernoulli arrivals)")
+		sel      = flag.String("select", "random", "adaptive selection function: random, first, least-loaded")
+		adaptive = flag.Bool("adaptive", false, "per-hop adaptive routing instead of source-routed")
+		mode     = flag.String("mode", "", "path selection: source, adaptive, or deterministic (overrides -adaptive)")
+		trace    = flag.String("trace", "", "write a per-packet CSV trace to this file")
+		pattern  = flag.String("pattern", "uniform", "traffic pattern (uniform, hotspot)")
+		hotspot  = flag.Int("hotspot", 0, "hot destination for -pattern hotspot")
+		hotfrac  = flag.Float64("hotfrac", 0.2, "hot fraction for -pattern hotspot")
+		util     = flag.Bool("util", false, "print per-node utilization")
+		profile  = flag.Bool("profile", false, "print the per-tree-level utilization profile")
+	)
+	flag.Parse()
+
+	alg := irnet.AlgorithmByName(*algName)
+	if alg == nil {
+		log.Fatalf("unknown algorithm %q", *algName)
+	}
+	g, err := cliutil.ParseTopology(*topo, *switches, *ports, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pol, err := cliutil.ParsePolicy(*policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := irnet.NewBuild(g, pol, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fn, err := b.Route(alg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fn.Verify(); err != nil {
+		log.Fatalf("refusing to simulate: %v", err)
+	}
+	tb := irnet.NewTable(fn)
+
+	cfg := irnet.SimConfig{
+		PacketLength:    *plen,
+		VirtualChannels: *vcs,
+		InjectionRate:   *rate,
+		MeanBurst:       *burst,
+		WarmupCycles:    *warmup,
+		MeasureCycles:   *measure,
+		Seed:            *seed,
+	}
+	switch *sel {
+	case "random":
+	case "first":
+		cfg.Select = irnet.SelectFirst
+	case "least-loaded":
+		cfg.Select = irnet.SelectLeastLoaded
+	default:
+		log.Fatalf("unknown selection %q", *sel)
+	}
+	if *adaptive {
+		cfg.Mode = irnet.Adaptive
+	}
+	switch *mode {
+	case "":
+	case "source":
+		cfg.Mode = irnet.SourceRouted
+	case "adaptive":
+		cfg.Mode = irnet.Adaptive
+	case "deterministic":
+		cfg.Mode = irnet.Deterministic
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+	if *trace != "" {
+		tf, err := os.Create(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tf.Close()
+		cfg.Trace = tf
+	}
+	switch *pattern {
+	case "uniform":
+		cfg.Pattern = irnet.Uniform(g.N())
+	case "hotspot":
+		cfg.Pattern = irnet.Hotspot(g.N(), []int{*hotspot}, *hotfrac)
+	default:
+		log.Fatalf("unknown pattern %q", *pattern)
+	}
+
+	res, err := irnet.Simulate(fn, tb, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := irnet.ComputeNodeStats(b.CG, res)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("algorithm          %s (%s, %s)\n", fn.AlgorithmName, pol, cfg.Mode)
+	fmt.Printf("offered traffic    %.4f flits/clock/node\n", res.OfferedTraffic)
+	fmt.Printf("accepted traffic   %.4f flits/clock/node\n", res.AcceptedTraffic)
+	fmt.Printf("packets delivered  %d (of %d created in window)\n", res.PacketsDelivered, res.PacketsCreated)
+	fmt.Printf("avg latency        %.1f clocks (network-only %.1f, min %d, max %d)\n",
+		res.AvgLatency, res.AvgNetworkLatency, res.MinLatency, res.MaxLatency)
+	fmt.Printf("latency tail       p50 %d, p95 %d, p99 %d clocks\n",
+		res.P50Latency, res.P95Latency, res.P99Latency)
+	fmt.Printf("node utilization   %.6f\n", st.Mean)
+	fmt.Printf("traffic load       %.6f (stddev of node utilization)\n", st.TrafficLoad)
+	fmt.Printf("hot-spot degree    %.2f %% (tree levels 0-1)\n", st.HotSpotDegree)
+	fmt.Printf("leaves utilization %.6f\n", st.LeavesUtilization)
+	fmt.Printf("in flight at end   %d flits\n", res.InFlightAtEnd)
+	fmt.Printf("source queue peak  %d packets\n", res.SourceQueuePeak)
+
+	if *profile {
+		fmt.Println("level utilization profile (tree level: mean node utilization):")
+		max := 0.0
+		for _, u := range st.LevelUtilization {
+			if u > max {
+				max = u
+			}
+		}
+		for l, u := range st.LevelUtilization {
+			bar := 0
+			if max > 0 {
+				bar = int(u / max * 50)
+			}
+			fmt.Printf("  L%-3d %.6f %s\n", l, u, strings.Repeat("#", bar))
+		}
+	}
+	if *util {
+		type nu struct {
+			v int
+			u float64
+		}
+		nus := make([]nu, g.N())
+		for v := range nus {
+			nus[v] = nu{v, st.Utilization[v]}
+		}
+		sort.Slice(nus, func(i, j int) bool { return nus[i].u > nus[j].u })
+		for _, x := range nus {
+			fmt.Printf("node %-4d level %-3d util %.6f\n", x.v, b.Tree.Level[x.v], x.u)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+// Command irtrace summarizes a per-packet trace produced by
+// irsim -trace FILE (or wormsim.Config.Trace): latency percentiles, the
+// queueing/network decomposition, and latency by hop count.
+//
+// Usage:
+//
+//	irsim -switches 64 -rate 0.2 -trace /tmp/run.csv
+//	irtrace /tmp/run.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("irtrace: ")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: irtrace <trace.csv>")
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := trace.Parse(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := trace.Summarize(recs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(s.Format())
+}

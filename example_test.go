@@ -1,0 +1,75 @@
+package irnet_test
+
+import (
+	"fmt"
+
+	irnet "repro"
+)
+
+// ExampleNewBuild shows Phase 1 of the DOWN/UP construction: the
+// coordinated tree of a fixed topology and the derived channel directions.
+func ExampleNewBuild() {
+	// The paper's Figure 1 network has 6 switches; use the Petersen graph
+	// here for a richer, still-deterministic example.
+	g, _ := irnet.RandomNetwork(8, 3, 7)
+	b, err := irnet.NewBuild(g, irnet.M1, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("switches:", g.N())
+	fmt.Println("root:", b.Tree.Root, "depth:", b.Tree.Depth())
+	fmt.Println("channels:", b.CG.NumChannels())
+	// Output:
+	// switches: 8
+	// root: 0 depth: 4
+	// channels: 24
+}
+
+// ExampleBuild_Route builds and verifies the DOWN/UP routing.
+func ExampleBuild_Route() {
+	g, _ := irnet.RandomNetwork(16, 4, 3)
+	b, _ := irnet.NewBuild(g, irnet.M1, 0)
+	fn, _ := b.Route(irnet.DownUp())
+	if err := fn.Verify(); err != nil {
+		panic(err)
+	}
+	fmt.Println("algorithm:", fn.AlgorithmName)
+	fmt.Println("deadlock-free and connected")
+	// Output:
+	// algorithm: DOWN/UP
+	// deadlock-free and connected
+}
+
+// ExampleTable_Distance shows turn-restricted distances: prohibitions can
+// stretch paths beyond the topological shortest.
+func ExampleTable_Distance() {
+	g, _ := irnet.RandomNetwork(16, 4, 3)
+	b, _ := irnet.NewBuild(g, irnet.M1, 0)
+	downup, _ := b.Route(irnet.DownUp())
+	updown, _ := b.Route(irnet.UpDown())
+	td, tu := irnet.NewTable(downup), irnet.NewTable(updown)
+	longer := 0
+	for s := 0; s < g.N(); s++ {
+		for d := 0; d < g.N(); d++ {
+			if tu.Distance(s, d) > td.Distance(s, d) {
+				longer++
+			}
+		}
+	}
+	fmt.Printf("up*/down* is strictly longer on %d ordered pairs\n", longer)
+	// Output:
+	// up*/down* is strictly longer on 22 ordered pairs
+}
+
+// ExampleAlgorithmByName resolves algorithms from their report names.
+func ExampleAlgorithmByName() {
+	for _, name := range []string{"DOWN/UP", "L-turn", "up*/down*", "bogus"} {
+		a := irnet.AlgorithmByName(name)
+		fmt.Println(name, "->", a != nil)
+	}
+	// Output:
+	// DOWN/UP -> true
+	// L-turn -> true
+	// up*/down* -> true
+	// bogus -> false
+}

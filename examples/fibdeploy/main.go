@@ -1,0 +1,94 @@
+// Fibdeploy: from routing algorithm to deployable artifact. A real
+// irregular-network installation (Autonet-style) computes routes centrally
+// and downloads per-switch forwarding tables into the fabric. This example
+// walks that pipeline: build and verify DOWN/UP, compile the forwarding
+// tables, serialize them to the wire format, load them back, and prove the
+// loaded artifact routes exactly like the in-memory tables by running the
+// same simulation through both and comparing results bit for bit.
+//
+//	go run ./examples/fibdeploy
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	irnet "repro"
+	"repro/internal/fib"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	g, err := irnet.RandomNetwork(64, 4, 31)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := irnet.NewBuild(g, irnet.M1, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fn, err := b.Route(irnet.DownUp())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fn.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	tb := irnet.NewTable(fn)
+
+	// Compile and serialize the forwarding tables.
+	compiled, err := fib.Compile(tb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var wire bytes.Buffer
+	if _, err := compiled.WriteTo(&wire); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network:   %d switches, %d links\n", g.N(), g.M())
+	fmt.Printf("fib:       %d bytes of forwarding state (%d bytes on the wire)\n",
+		compiled.SizeBytes(), wire.Len())
+	fmt.Printf("per-switch: about %d bytes\n", compiled.SizeBytes()/g.N())
+
+	// "Download" into the switches: parse the wire format and bind it to
+	// the fabric.
+	loaded, err := fib.Read(&wire)
+	if err != nil {
+		log.Fatal(err)
+	}
+	router, err := fib.NewRouter(loaded, b.CG)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Same traffic through the table and through the loaded artifact.
+	cfg := irnet.SimConfig{
+		PacketLength:  64,
+		InjectionRate: 0.12,
+		WarmupCycles:  2000,
+		MeasureCycles: 8000,
+		Seed:          7,
+	}
+	fromTable, err := irnet.Simulate(fn, tb, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fromFIB, err := irnet.Simulate(fn, router, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-22s %-14s %-14s\n", "", "via table", "via loaded FIB")
+	fmt.Printf("%-22s %-14d %-14d\n", "packets delivered", fromTable.PacketsDelivered, fromFIB.PacketsDelivered)
+	fmt.Printf("%-22s %-14.1f %-14.1f\n", "avg latency", fromTable.AvgLatency, fromFIB.AvgLatency)
+	fmt.Printf("%-22s %-14.4f %-14.4f\n", "accepted traffic", fromTable.AcceptedTraffic, fromFIB.AcceptedTraffic)
+
+	if fromTable.FlitsDelivered != fromFIB.FlitsDelivered ||
+		fromTable.AvgLatency != fromFIB.AvgLatency {
+		log.Fatal("MISMATCH: the deployed artifact routes differently!")
+	}
+	fmt.Println("\nbit-identical: the serialized forwarding tables reproduce the")
+	fmt.Println("routing function exactly — what you verified is what you ship.")
+}

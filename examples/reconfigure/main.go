@@ -1,0 +1,82 @@
+// Reconfigure: irregular-network routing exists because networks of
+// workstations change — links fail, switches are added — and the routing
+// must be recomputed around the damage (this is the Autonet heritage the
+// paper's related work starts from). This example kills links one at a
+// time, rebuilds the coordinated tree and the DOWN/UP routing after every
+// failure, and verifies the network stays deadlock-free and connected as
+// long as the topology itself is connected.
+//
+//	go run ./examples/reconfigure
+package main
+
+import (
+	"fmt"
+	"log"
+
+	irnet "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	g, err := irnet.RandomNetwork(48, 4, 77)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial network: %d switches, %d links\n\n", g.N(), g.M())
+
+	rebuild := func() (*irnet.Build, *irnet.RoutingFunction, *irnet.Table) {
+		b, err := irnet.NewBuild(g, irnet.M1, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fn, err := b.Route(irnet.DownUp())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := fn.Verify(); err != nil {
+			log.Fatal(err)
+		}
+		return b, fn, irnet.NewTable(fn)
+	}
+
+	_, _, tb := rebuild()
+	fmt.Printf("%-28s %-10s %-10s\n", "event", "avgPath", "diameter")
+	report := func(event string) {
+		maxD := 0
+		for s := 0; s < g.N(); s++ {
+			for d := 0; d < g.N(); d++ {
+				if dd := tb.Distance(s, d); dd > maxD {
+					maxD = dd
+				}
+			}
+		}
+		fmt.Printf("%-28s %-10.3f %-10d\n", event, tb.AvgPathLength(), maxD)
+	}
+	report("healthy")
+
+	// Fail links until just before the network would disconnect.
+	failed := 0
+	for _, e := range g.Edges() {
+		if failed >= 6 {
+			break
+		}
+		if err := g.RemoveEdge(e.From, e.To); err != nil {
+			log.Fatal(err)
+		}
+		if !g.Connected() {
+			// Put it back: this link was a bridge.
+			g.MustAddEdge(e.From, e.To)
+			continue
+		}
+		failed++
+		_, _, tb = rebuild()
+		report(fmt.Sprintf("failed link %d-%d", e.From, e.To))
+	}
+
+	fmt.Printf("\nAfter %d failures the DOWN/UP routing still verifies\n", failed)
+	fmt.Println("(deadlock-free, all pairs connected); paths lengthen as the")
+	fmt.Println("network thins, but correctness is re-established by simply")
+	fmt.Println("rebuilding the coordinated tree — no global coordination or")
+	fmt.Println("virtual channels required.")
+}

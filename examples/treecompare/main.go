@@ -1,0 +1,64 @@
+// Treecompare: the paper's Remark 1 in miniature — the way the coordinated
+// tree is built (M1: smallest-id preorder, M2: random, M3: largest-id)
+// changes routing performance, and M1 is the best choice for both DOWN/UP
+// and L-turn.
+//
+//	go run ./examples/treecompare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	irnet "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	g, err := irnet.RandomNetwork(64, 4, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d switches, %d links\n\n", g.N(), g.M())
+	fmt.Printf("%-8s %-12s %-10s %-10s %-10s %-10s\n",
+		"tree", "algorithm", "accepted", "latency", "hotspot%", "pathlen")
+
+	for _, pol := range []irnet.TreePolicy{irnet.M1, irnet.M2, irnet.M3} {
+		build, err := irnet.NewBuild(g, pol, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, alg := range []irnet.Algorithm{irnet.DownUp(), irnet.LTurn()} {
+			fn, err := build.Route(alg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := fn.Verify(); err != nil {
+				log.Fatal(err)
+			}
+			tb := irnet.NewTable(fn)
+			res, err := irnet.Simulate(fn, tb, irnet.SimConfig{
+				PacketLength:  64,
+				InjectionRate: 0.15,
+				WarmupCycles:  2000,
+				MeasureCycles: 8000,
+				Seed:          3,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			st, err := irnet.ComputeNodeStats(build.CG, res)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-8s %-12s %-10.4f %-10.1f %-10.2f %-10.2f\n",
+				pol, alg.Name(), res.AcceptedTraffic, res.AvgLatency,
+				st.HotSpotDegree, tb.AvgPathLength())
+		}
+	}
+
+	fmt.Println("\nM1 (smallest-node-number preorder) gives both algorithms their")
+	fmt.Println("best accepted traffic and lowest hot-spot concentration —")
+	fmt.Println("the paper's Remark 1.")
+}

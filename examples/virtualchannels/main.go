@@ -1,0 +1,63 @@
+// Virtualchannels: the paper notes that the DOWN/UP routing "can be
+// directly applied to arbitrary topology with (or without) any virtual
+// channel", and its reference [8] (Silla & Duato) builds high-performance
+// irregular routing on virtual channels. This example measures what VCs buy
+// on top of DOWN/UP: saturation throughput as a function of the number of
+// virtual channels per physical channel.
+//
+//	go run ./examples/virtualchannels
+package main
+
+import (
+	"fmt"
+	"log"
+
+	irnet "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	g, err := irnet.RandomNetwork(64, 4, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	build, err := irnet.NewBuild(g, irnet.M1, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fn, err := build.Route(irnet.DownUp())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fn.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	tb := irnet.NewTable(fn)
+
+	fmt.Printf("network: %d switches / DOWN/UP routing / offered load 0.5 flits/clock/node\n\n", g.N())
+	fmt.Printf("%-4s %-12s %-12s\n", "VCs", "accepted", "latency")
+	base := 0.0
+	for _, vc := range []int{1, 2, 4, 8} {
+		res, err := irnet.Simulate(fn, tb, irnet.SimConfig{
+			PacketLength:    32,
+			VirtualChannels: vc,
+			InjectionRate:   0.5, // beyond saturation: measures capacity
+			WarmupCycles:    2000,
+			MeasureCycles:   8000,
+			Seed:            3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if vc == 1 {
+			base = res.AcceptedTraffic
+		}
+		fmt.Printf("%-4d %-12.4f %-12.1f (%.0f%% of 1-VC throughput)\n",
+			vc, res.AcceptedTraffic, res.AvgLatency, 100*res.AcceptedTraffic/base)
+	}
+
+	fmt.Println("\nBlocked wormholes no longer idle the wires they hold: each")
+	fmt.Println("physical channel multiplexes several packets, so saturation")
+	fmt.Println("throughput climbs with the VC count (with diminishing returns).")
+}

@@ -1,0 +1,210 @@
+package irnet_test
+
+// Cross-module integration tests: these exercise invariants that only hold
+// if the topology generator, coordinated tree, turn machinery, routing
+// tables, and simulator agree with each other end to end.
+
+import (
+	"math"
+	"testing"
+
+	irnet "repro"
+)
+
+func integrationSetup(t *testing.T, seed uint64, switches, ports int, alg irnet.Algorithm) (*irnet.Build, *irnet.RoutingFunction, *irnet.Table) {
+	t.Helper()
+	g, err := irnet.RandomNetwork(switches, ports, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := irnet.NewBuild(g, irnet.M1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := b.Route(alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fn.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	return b, fn, irnet.NewTable(fn)
+}
+
+// TestSimLatencyMatchesTableDistances: under negligible load, the
+// simulator's network latency must equal the pipeline formula evaluated on
+// the routing table's path lengths — the simulator and the table must agree
+// about the geometry.
+func TestSimLatencyMatchesTableDistances(t *testing.T) {
+	b, fn, tb := integrationSetup(t, 5, 24, 4, irnet.DownUp())
+	const plen = 8
+	res, err := irnet.Simulate(fn, tb, irnet.SimConfig{
+		PacketLength:  plen,
+		InjectionRate: 0.005,
+		WarmupCycles:  200,
+		MeasureCycles: 150000,
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PacketsDelivered < 200 {
+		t.Fatalf("only %d packets delivered", res.PacketsDelivered)
+	}
+	// Expected network latency (injection to tail delivery) for a packet
+	// over h channels: plen + 2h + 2; the creation-based latency adds one
+	// clock for the source queue handoff. Average over uniform pairs using
+	// the table's distances.
+	n := b.CG.N()
+	sum, cnt := 0.0, 0
+	minD := 1 << 30
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			h := tb.Distance(s, d)
+			sum += float64(plen + 2*h + 2)
+			cnt++
+			if h < minD {
+				minD = h
+			}
+		}
+	}
+	want := sum / float64(cnt)
+	if math.Abs(res.AvgNetworkLatency-want) > want*0.05 {
+		t.Fatalf("network latency %.2f, table-predicted %.2f", res.AvgNetworkLatency, want)
+	}
+	if res.MinLatency < plen+2*minD+3 {
+		t.Fatalf("min latency %d below formula %d", res.MinLatency, plen+2*minD+3)
+	}
+}
+
+// TestFlowConservation: at low load, the total switch-to-switch channel
+// crossings divided by delivered packets must equal the average legal path
+// length — every flit's hop is counted exactly once.
+func TestFlowConservation(t *testing.T) {
+	_, fn, tb := integrationSetup(t, 9, 32, 4, irnet.LTurn())
+	const plen = 8
+	res, err := irnet.Simulate(fn, tb, irnet.SimConfig{
+		PacketLength:  plen,
+		InjectionRate: 0.02,
+		WarmupCycles:  2000,
+		MeasureCycles: 60000,
+		Seed:          3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crossings int64
+	for _, c := range res.ChannelFlits {
+		crossings += c
+	}
+	hopsPerPacket := float64(crossings) / float64(res.PacketsDelivered) / plen
+	want := tb.AvgPathLength()
+	if math.Abs(hopsPerPacket-want) > want*0.08 {
+		t.Fatalf("measured hops/packet %.3f, table average %.3f", hopsPerPacket, want)
+	}
+}
+
+// TestUtilizationConcentratesWhereRoutingSaysIt: simulate DOWN/UP and
+// up*/down* on the same network at the same load and compare the hot-spot
+// metric — the DOWN/UP design goal, observed through the whole stack.
+func TestUtilizationConcentratesWhereRoutingSaysIt(t *testing.T) {
+	g, err := irnet.RandomNetwork(48, 4, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := irnet.NewBuild(g, irnet.M1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotspot := map[string]float64{}
+	for _, alg := range []irnet.Algorithm{irnet.DownUp(), irnet.UpDown()} {
+		fn, err := b.Route(alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fn.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		tb := irnet.NewTable(fn)
+		res, err := irnet.Simulate(fn, tb, irnet.SimConfig{
+			PacketLength:  32,
+			InjectionRate: 0.15,
+			WarmupCycles:  2000,
+			MeasureCycles: 10000,
+			Seed:          5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := irnet.ComputeNodeStats(b.CG, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hotspot[fn.AlgorithmName] = st.HotSpotDegree
+	}
+	if hotspot["DOWN/UP"] >= hotspot["up*/down*"] {
+		t.Fatalf("DOWN/UP hot-spot degree %.2f not below up*/down* %.2f",
+			hotspot["DOWN/UP"], hotspot["up*/down*"])
+	}
+}
+
+// TestAdaptiveRespectsTurnRules: in adaptive mode the simulator consults
+// the table hop by hop; heavy adaptive traffic must still satisfy the
+// wormhole invariants and never deadlock under a verified function.
+func TestAdaptiveRespectsTurnRules(t *testing.T) {
+	_, fn, tb := integrationSetup(t, 13, 32, 4, irnet.DownUp())
+	res, err := irnet.Simulate(fn, tb, irnet.SimConfig{
+		PacketLength:  32,
+		Mode:          irnet.Adaptive,
+		InjectionRate: 0.8,
+		WarmupCycles:  irnet.NoWarmup,
+		MeasureCycles: 15000,
+		Seed:          11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PacketsDelivered == 0 {
+		t.Fatal("adaptive saturation run delivered nothing")
+	}
+}
+
+// TestAllAlgorithmsFullPipeline runs every built-in algorithm through the
+// complete flow on one network and sanity-checks relative results.
+func TestAllAlgorithmsFullPipeline(t *testing.T) {
+	g, err := irnet.RandomNetwork(32, 4, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := irnet.NewBuild(g, irnet.M1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algs := append(irnet.Algorithms(), irnet.DownUpNoRelease(), irnet.AutoDownUp())
+	for _, alg := range algs {
+		fn, err := b.Route(alg)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if err := fn.Verify(); err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		tb := irnet.NewTable(fn)
+		res, err := irnet.Simulate(fn, tb, irnet.SimConfig{
+			PacketLength:  16,
+			InjectionRate: 0.1,
+			WarmupCycles:  1000,
+			MeasureCycles: 4000,
+			Seed:          2,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if res.AcceptedTraffic < 0.05 {
+			t.Fatalf("%s: accepted %.4f at offered 0.1", alg.Name(), res.AcceptedTraffic)
+		}
+	}
+}

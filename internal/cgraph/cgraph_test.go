@@ -1,0 +1,316 @@
+package cgraph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ctree"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// figure1 builds the paper's Figure 1 communication graph: the network of
+// Figure 1(b) under the coordinated tree of Figure 1(c).
+func figure1(t *testing.T) *CG {
+	t.Helper()
+	g := topology.Figure1()
+	parent := []int{-1, 4, 0, 0, 0, 2}
+	childOrder := [][]int{{4, 2, 3}, {}, {5}, {}, {1}, {}}
+	tr, err := ctree.FromParents(g, parent, childOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(tr)
+}
+
+func dirOf(t *testing.T, cg *CG, from, to int) Direction {
+	t.Helper()
+	id, ok := cg.ChannelID(from, to)
+	if !ok {
+		t.Fatalf("channel <%d,%d> missing", from, to)
+	}
+	return cg.Channels[id].Dir
+}
+
+// TestFigure1Directions replays every direction fact the paper states about
+// Figure 1(d). Node ids: v1..v6 -> 0..5.
+func TestFigure1Directions(t *testing.T) {
+	cg := figure1(t)
+	// "d(<v2,v4>) = RU_CROSS"
+	if d := dirOf(t, cg, 1, 3); d != RUCross {
+		t.Errorf("d(<v2,v4>) = %v, want RU_CROSS", d)
+	}
+	// "d(<v5,v2>) = RD_TREE"
+	if d := dirOf(t, cg, 4, 1); d != RDTree {
+		t.Errorf("d(<v5,v2>) = %v, want RD_TREE", d)
+	}
+	// The turn cycle of Figure 1 uses channels <v5,v1>, <v1,v3>, <v3,v5>.
+	if d := dirOf(t, cg, 4, 0); d != LUTree {
+		t.Errorf("d(<v5,v1>) = %v, want LU_TREE", d)
+	}
+	if d := dirOf(t, cg, 0, 2); d != RDTree {
+		t.Errorf("d(<v1,v3>) = %v, want RD_TREE", d)
+	}
+	// v5 is the left node of v3 (v3 is the right node of v5), and (v3,v5)
+	// is a cross link, so <v3,v5> is L_CROSS.
+	if d := dirOf(t, cg, 2, 4); d != LCross {
+		t.Errorf("d(<v3,v5>) = %v, want L_CROSS", d)
+	}
+	if d := dirOf(t, cg, 4, 2); d != RCross {
+		t.Errorf("d(<v5,v3>) = %v, want R_CROSS", d)
+	}
+	// Reverse of <v2,v4> (RU_CROSS) is <v4,v2>: v2 is left-down of v4.
+	if d := dirOf(t, cg, 3, 1); d != LDCross {
+		t.Errorf("d(<v4,v2>) = %v, want LD_CROSS", d)
+	}
+}
+
+func TestFigure1Counts(t *testing.T) {
+	cg := figure1(t)
+	if cg.NumChannels() != 14 { // 7 links
+		t.Fatalf("NumChannels = %d, want 14", cg.NumChannels())
+	}
+	counts := cg.DirCounts()
+	// 5 tree links -> 5 LU_TREE + 5 RD_TREE; cross links (v2,v4) and
+	// (v3,v5) -> RU+LD and L+R.
+	if counts[LUTree] != 5 || counts[RDTree] != 5 {
+		t.Fatalf("tree channel counts = %v", counts)
+	}
+	if counts[RUCross] != 1 || counts[LDCross] != 1 || counts[LCross] != 1 || counts[RCross] != 1 {
+		t.Fatalf("cross channel counts = %v", counts)
+	}
+	if counts[LUCross] != 0 || counts[RDCross] != 0 {
+		t.Fatalf("unexpected LU/RD cross channels: %v", counts)
+	}
+}
+
+func TestRelate(t *testing.T) {
+	tr, err := ctree.Build(topology.Star(4), ctree.M1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Star: root 0 (X=0,Y=0), leaves 1,2,3 at level 1 with X=1,2,3.
+	cases := []struct {
+		v1, v2 int
+		want   Relation
+	}{
+		{1, 0, LeftUp},
+		{0, 1, RightDown},
+		{2, 1, Left},
+		{1, 2, Right},
+		{3, 0, LeftUp},
+	}
+	for _, c := range cases {
+		if got := Relate(tr, c.v1, c.v2); got != c.want {
+			t.Errorf("Relate(%d,%d) = %v, want %v", c.v1, c.v2, got, c.want)
+		}
+	}
+}
+
+func TestRelatePanicsOnSelf(t *testing.T) {
+	tr, _ := ctree.Build(topology.Line(2), ctree.M1, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Relate(v,v) did not panic")
+		}
+	}()
+	Relate(tr, 1, 1)
+}
+
+func TestReversePairing(t *testing.T) {
+	cg := figure1(t)
+	for i := range cg.Channels {
+		r := cg.Reverse(i)
+		if cg.Reverse(r) != i {
+			t.Fatalf("Reverse not an involution at %d", i)
+		}
+		if cg.Channels[r].From != cg.Channels[i].To || cg.Channels[r].To != cg.Channels[i].From {
+			t.Fatalf("Reverse(%d) endpoints wrong", i)
+		}
+	}
+}
+
+func TestOutInConsistency(t *testing.T) {
+	cg := figure1(t)
+	for v := 0; v < cg.N(); v++ {
+		for _, c := range cg.Out[v] {
+			if cg.Channels[c].From != v {
+				t.Fatalf("Out[%d] lists channel from %d", v, cg.Channels[c].From)
+			}
+		}
+		for _, c := range cg.In[v] {
+			if cg.Channels[c].To != v {
+				t.Fatalf("In[%d] lists channel to %d", v, cg.Channels[c].To)
+			}
+		}
+		if len(cg.Out[v]) != cg.Tree.G.Degree(v) || len(cg.In[v]) != cg.Tree.G.Degree(v) {
+			t.Fatalf("node %d: out=%d in=%d degree=%d", v, len(cg.Out[v]), len(cg.In[v]), cg.Tree.G.Degree(v))
+		}
+	}
+	if _, ok := cg.ChannelID(0, 5); ok {
+		t.Fatal("nonexistent channel found")
+	}
+}
+
+func TestDirectionPredicates(t *testing.T) {
+	ups := []Direction{LUTree, LUCross, RUCross}
+	downs := []Direction{RDTree, LDCross, RDCross}
+	horiz := []Direction{RCross, LCross}
+	for _, d := range ups {
+		if !d.IsUp() || d.IsDown() || d.IsHorizontal() {
+			t.Errorf("%v predicates wrong", d)
+		}
+	}
+	for _, d := range downs {
+		if d.IsUp() || !d.IsDown() || d.IsHorizontal() {
+			t.Errorf("%v predicates wrong", d)
+		}
+	}
+	for _, d := range horiz {
+		if d.IsUp() || d.IsDown() || !d.IsHorizontal() {
+			t.Errorf("%v predicates wrong", d)
+		}
+	}
+	if !LUTree.IsTree() || !RDTree.IsTree() || LUCross.IsTree() {
+		t.Error("IsTree wrong")
+	}
+}
+
+func TestDirectionStrings(t *testing.T) {
+	want := map[Direction]string{
+		LUTree: "LU_TREE", RDTree: "RD_TREE", LUCross: "LU_CROSS",
+		LDCross: "LD_CROSS", RUCross: "RU_CROSS", RDCross: "RD_CROSS",
+		RCross: "R_CROSS", LCross: "L_CROSS",
+	}
+	for d, s := range want {
+		if d.String() != s {
+			t.Errorf("%d.String() = %q, want %q", d, d.String(), s)
+		}
+	}
+	if Direction(200).String() == "" {
+		t.Error("unknown direction string empty")
+	}
+}
+
+// Structural properties of the Definition 5 classification, checked over
+// random irregular networks.
+func TestClassificationProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		g, err := topology.RandomIrregular(topology.IrregularConfig{Switches: 48, Ports: 5}, r.Split())
+		if err != nil {
+			return false
+		}
+		tr, err := ctree.Build(g, ctree.M2, r.Split())
+		if err != nil {
+			return false
+		}
+		cg := Build(tr)
+		for i := range cg.Channels {
+			c := &cg.Channels[i]
+			dy := tr.Level[c.To] - tr.Level[c.From]
+			// Tree channels are exactly LU_TREE/RD_TREE.
+			if c.Tree != c.Dir.IsTree() {
+				return false
+			}
+			if c.Tree {
+				if c.Dir == LUTree && tr.Parent[c.From] != c.To {
+					return false
+				}
+				if c.Dir == RDTree && tr.Parent[c.To] != c.From {
+					return false
+				}
+			}
+			// Level movement matches the up/down/horizontal predicate, and
+			// BFS cross links move at most one level.
+			switch {
+			case c.Dir.IsUp():
+				if dy != -1 {
+					return false
+				}
+			case c.Dir.IsDown():
+				if dy != 1 {
+					return false
+				}
+			default:
+				if dy != 0 {
+					return false
+				}
+			}
+			// Reverse channels carry the mirrored direction.
+			rev := cg.Channels[cg.Reverse(i)].Dir
+			if mirror(c.Dir) != rev {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mirror(d Direction) Direction {
+	switch d {
+	case LUTree:
+		return RDTree
+	case RDTree:
+		return LUTree
+	case LUCross:
+		return RDCross
+	case RDCross:
+		return LUCross
+	case LDCross:
+		return RUCross
+	case RUCross:
+		return LDCross
+	case RCross:
+		return LCross
+	case LCross:
+		return RCross
+	}
+	panic("bad direction")
+}
+
+func BenchmarkBuildCG128x8(b *testing.B) {
+	g, err := topology.RandomIrregular(topology.DefaultIrregular(8), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := ctree.Build(g, ctree.M1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(tr)
+	}
+}
+
+func TestClassificationOnDFSTrees(t *testing.T) {
+	// The Definition 5 taxonomy is well defined on DFS trees too: tree
+	// channels are still exactly LU_TREE/RD_TREE (parents precede children
+	// in preorder and sit one level up), but cross channels may span
+	// multiple levels.
+	g, err := topology.RandomIrregular(topology.IrregularConfig{Switches: 40, Ports: 4}, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ctree.BuildDFS(g, ctree.M1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := Build(tr)
+	for i := range cg.Channels {
+		c := &cg.Channels[i]
+		if c.Tree != c.Dir.IsTree() {
+			t.Fatalf("channel %d tree flag mismatch", i)
+		}
+		if c.Tree {
+			dy := tr.Level[c.To] - tr.Level[c.From]
+			if dy != 1 && dy != -1 {
+				t.Fatalf("tree channel %d spans %d levels", i, dy)
+			}
+		}
+	}
+}

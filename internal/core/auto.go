@@ -1,0 +1,45 @@
+package core
+
+import (
+	"repro/internal/cgraph"
+	"repro/internal/routing"
+	"repro/internal/turnmodel"
+)
+
+// AutoDownUp is an extension beyond the paper: instead of applying the
+// fixed, topology-independent prohibited set PT and then releasing two turn
+// types per node (Phases 2-3), it derives a maximal acyclic direction
+// dependency graph (Definition 11) directly for the given communication
+// graph with turnmodel.GreedyMaximalADDG, using the same down-first
+// preference the paper's Phase 2 argues for.
+//
+// The result allows at least every turn PT allows (the greedy set is
+// maximal at the direction level for this CG) and usually more, because
+// turn combinations that happen to be cycle-free on this particular
+// topology are admitted too. The trade-off is construction cost — one
+// channel-level acyclicity check per candidate turn — and the loss of the
+// closed-form, topology-independent turn set that makes the paper's
+// algorithm attractive for switch firmware.
+//
+// Included as an ablation point: how much performance does the paper leave
+// on the table by insisting on a uniform PT?
+type AutoDownUp struct{}
+
+// Name implements routing.Algorithm.
+func (AutoDownUp) Name() string { return "DOWN/UP(auto)" }
+
+// Build implements routing.Algorithm.
+func (AutoDownUp) Build(cg *cgraph.CG) (*routing.Function, error) {
+	scheme := turnmodel.EightDir{}
+	mask, admitted := turnmodel.GreedyMaximalADDG(cg, scheme, turnmodel.DownFirstPreference())
+	sys := turnmodel.NewSystem(cg, scheme, mask)
+	extra := len(admitted) - (56 - len(ProhibitedTurns()))
+	if extra < 0 {
+		extra = 0
+	}
+	return &routing.Function{
+		AlgorithmName: "DOWN/UP(auto)",
+		Sys:           sys,
+		Released:      extra, // turns beyond the paper's 38 allowed ones
+	}, nil
+}

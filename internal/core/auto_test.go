@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ctree"
+	"repro/internal/routing"
+)
+
+func TestAutoDownUpVerifies(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		cg := randomCG(t, seed, 40, 4, ctree.M1)
+		f, err := AutoDownUp{}.Build(cg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Verify(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestAutoDownUpAllowsAtLeastPT(t *testing.T) {
+	// Every turn the paper's PT keeps must also be allowed by the greedy
+	// derivation (the down-first preference offers PT's allowed turns with
+	// higher priority than the turns PT prohibits... not exactly — but the
+	// direction-level guarantee below is what matters: nothing PT allows
+	// may be prohibited in a way that lengthens paths).
+	cg := randomCG(t, 7, 48, 4, ctree.M1)
+	auto, err := AutoDownUp{}.Build(cg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual, err := DownUp{}.Build(cg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, mt := routing.NewTable(auto), routing.NewTable(manual)
+	// The auto variant is maximal for this CG, so its average path length
+	// must not exceed the release-augmented manual PT by any meaningful
+	// margin; typically it is shorter.
+	if at.AvgPathLength() > mt.AvgPathLength()*1.02 {
+		t.Fatalf("auto paths %.3f much longer than manual %.3f",
+			at.AvgPathLength(), mt.AvgPathLength())
+	}
+}
+
+func TestAutoDownUpName(t *testing.T) {
+	if (AutoDownUp{}).Name() != "DOWN/UP(auto)" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestAutoDownUpExtraTurns(t *testing.T) {
+	// On most irregular networks the per-topology derivation admits more
+	// turns than the paper's fixed 38.
+	total := 0
+	for seed := uint64(0); seed < 3; seed++ {
+		cg := randomCG(t, seed, 48, 4, ctree.M1)
+		f, err := AutoDownUp{}.Build(cg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += f.Released
+	}
+	if total == 0 {
+		t.Fatal("auto derivation never admitted a turn beyond PT's 38")
+	}
+}
+
+func BenchmarkAutoDownUpBuild64x4(b *testing.B) {
+	cg := randomCG(b, 1, 64, 4, ctree.M1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (AutoDownUp{}).Build(cg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+// Package core implements the paper's primary contribution: the DOWN/UP
+// deadlock-free tree-based routing algorithm (paper §4).
+//
+// The construction has three phases:
+//
+//	Phase 1 — build the coordinated tree and the communication graph
+//	          (packages ctree and cgraph; the M1 child-ordering policy is
+//	          the paper's proposed tree-construction method).
+//	Phase 2 — derive a maximal acyclic direction dependency graph from the
+//	          complete direction graph over the eight Definition 5
+//	          directions. The result is the fixed eighteen-turn prohibited
+//	          set PT (paper §4.3). Both the staged derivation (ADDG1..ADDG7,
+//	          useful for understanding and testing) and the closed-form set
+//	          are provided; they are equal by construction and by test.
+//	Phase 3 — apply PT at every node, then release the redundant
+//	          prohibitions of T(LU_CROSS, RD_TREE) and T(RU_CROSS, RD_TREE)
+//	          per node via the cycle_detection algorithm.
+//
+// The name reflects the traffic shape the prohibitions enforce: on cross
+// links packets descend toward the leaves before ascending (DOWN then UP),
+// relieving the root-area hot spots that up*/down*-style algorithms suffer.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cgraph"
+	"repro/internal/routing"
+	"repro/internal/turnmodel"
+)
+
+// d abbreviates the canonical direction constants in scheme space.
+func d(dir cgraph.Direction) turnmodel.Dir { return turnmodel.Dir(dir) }
+
+// ProhibitedTurns returns the eighteen-turn prohibited set PT of the
+// DOWN/UP routing, with the orientation of the four horizontal/up-cross
+// turns corrected per the paper's own Phase 2 Step 3 (see the erratum note
+// on ListedProhibitedTurns).
+//
+// The resulting path grammar (ignoring per-node Phase 3 releases) is
+//
+//	LU_TREE*  {RD_TREE, RD_CROSS, LD_CROSS, R_CROSS, L_CROSS}*  {LU_CROSS, RU_CROSS}*
+//
+// — climb tree links, then move downward/sideways on anything, then finish
+// with an uninterruptible cross-link climb. Cross-link traffic therefore
+// goes DOWN before UP (the algorithm's name), and the only way to descend
+// after an up-cross move is through a turn onto a tree down-channel that
+// Phase 3 has explicitly released at that node.
+//
+// Deadlock freedom of this set is topology-independent: no turn enters
+// LU_TREE, so LU_TREE channels cannot lie on a turn cycle; up-cross
+// directions can only be followed by up-cross directions, so a turn cycle
+// containing an up move could never descend again and would strictly
+// decrease the tree level; and a cycle among the remaining directions
+// cannot return to a smaller level (downs strictly increase it) nor close
+// horizontally (L_CROSS -> R_CROSS is prohibited, and an all-L or all-R
+// cycle would be X-monotone).
+func ProhibitedTurns() []turnmodel.Turn {
+	return []turnmodel.Turn{
+		// Every turn into LU_TREE: once a packet stops climbing tree links
+		// it never climbs them again, preventing traffic from flowing back
+		// toward the root.
+		{From: d(cgraph.RDTree), To: d(cgraph.LUTree)},
+		{From: d(cgraph.RDCross), To: d(cgraph.LUTree)},
+		{From: d(cgraph.LCross), To: d(cgraph.LUTree)},
+		{From: d(cgraph.RCross), To: d(cgraph.LUTree)},
+		{From: d(cgraph.LUCross), To: d(cgraph.LUTree)},
+		{From: d(cgraph.LDCross), To: d(cgraph.LUTree)},
+		{From: d(cgraph.RUCross), To: d(cgraph.LUTree)},
+		// Up-cross to down-cross: cross-link traffic must go DOWN before UP.
+		{From: d(cgraph.RUCross), To: d(cgraph.LDCross)},
+		{From: d(cgraph.RUCross), To: d(cgraph.RDCross)},
+		{From: d(cgraph.LUCross), To: d(cgraph.LDCross)},
+		{From: d(cgraph.LUCross), To: d(cgraph.RDCross)},
+		// Up-cross to down-tree (the two turn types Phase 3 later releases
+		// per node where no turn cycle can pass).
+		{From: d(cgraph.LUCross), To: d(cgraph.RDTree)},
+		{From: d(cgraph.RUCross), To: d(cgraph.RDTree)},
+		// Horizontal two-cycle breaker (the paper removes L->R, keeping
+		// R->L).
+		{From: d(cgraph.LCross), To: d(cgraph.RCross)},
+		// Up-cross to horizontal (Phase 2 Step 3: edges from Region 1 =
+		// {LU_CROSS, RU_CROSS} to ADDG3 = {L_CROSS, R_CROSS} are removed).
+		{From: d(cgraph.RUCross), To: d(cgraph.RCross)},
+		{From: d(cgraph.RUCross), To: d(cgraph.LCross)},
+		{From: d(cgraph.LUCross), To: d(cgraph.RCross)},
+		{From: d(cgraph.LUCross), To: d(cgraph.LCross)},
+	}
+}
+
+// ListedProhibitedTurns returns the eighteen turns exactly as enumerated in
+// the paper's §4.3 — which differs from ProhibitedTurns in the orientation
+// of the four horizontal/up-cross turns (the listing has T(R_CROSS,
+// RU_CROSS) etc., i.e., horizontal -> up-cross prohibited and up-cross ->
+// horizontal allowed).
+//
+// ERRATUM: the §4.3 listing is internally inconsistent with the paper and
+// is not deadlock-free. Evidence, all mechanically checked in the tests:
+//
+//  1. With the listed orientation, communication graphs routinely contain
+//     turn cycles such as R_CROSS -> L_CROSS -> RD_CROSS -> LU_CROSS ->
+//     (back to the first channel), found on small random irregular networks
+//     (TestListedPTAdmitsTurnCycles).
+//  2. The paper's Phase 2 Step 3 derivation removes edges "from nodes in
+//     Region 1 to nodes in ADDG3"; Observation 5's cycle (Region 1 ->
+//     ADDG3 -> Region 2 -> Region 1) only exists when Region 1 is the
+//     up-cross pair — after Steps 1-2, up-cross -> down-cross edges are
+//     already gone, so the cycle needs the surviving down-cross -> up-cross
+//     edges for its return leg — hence the removed edges are up-cross ->
+//     horizontal.
+//  3. Figure 6's cycles C3 and C4 (Step 4) both pass through the turns
+//     T(L_CROSS, RU_CROSS) and T(R_CROSS, LU_CROSS); those cycles can only
+//     arise if horizontal -> up-cross turns are still allowed after Step 3,
+//     again contradicting the §4.3 orientation.
+//
+// ProhibitedTurns therefore uses the Step 3-consistent orientation, and
+// this function preserves the listing for the record and the erratum test.
+func ListedProhibitedTurns() []turnmodel.Turn {
+	pt := ProhibitedTurns()
+	out := pt[:14:14] // first fourteen turns agree with the listing
+	out = append(out,
+		turnmodel.Turn{From: d(cgraph.RCross), To: d(cgraph.RUCross)},
+		turnmodel.Turn{From: d(cgraph.RCross), To: d(cgraph.LUCross)},
+		turnmodel.Turn{From: d(cgraph.LCross), To: d(cgraph.RUCross)},
+		turnmodel.Turn{From: d(cgraph.LCross), To: d(cgraph.LUCross)},
+	)
+	return out
+}
+
+// ReleaseCandidates returns the two turn types the Phase 3 cycle_detection
+// algorithm considers releasing per node. The paper's rationale (§4.3):
+// only these turns help push traffic downward to the leaves, and RD_TREE
+// output channels exist at every non-leaf node, so these prohibitions are
+// both the most numerous and the most valuable to relax.
+func ReleaseCandidates() []turnmodel.Turn {
+	return []turnmodel.Turn{
+		{From: d(cgraph.LUCross), To: d(cgraph.RDTree)},
+		{From: d(cgraph.RUCross), To: d(cgraph.RDTree)},
+	}
+}
+
+// DownUp is the DOWN/UP routing algorithm.
+type DownUp struct {
+	// DisableRelease skips the Phase 3 per-node release pass; used by the
+	// ablation experiments to quantify its contribution. The default (zero
+	// value) runs the full paper algorithm.
+	DisableRelease bool
+}
+
+// Name implements routing.Algorithm.
+func (a DownUp) Name() string {
+	if a.DisableRelease {
+		return "DOWN/UP(no-release)"
+	}
+	return "DOWN/UP"
+}
+
+// Build implements routing.Algorithm: Phase 2's prohibited set applied at
+// every node of the communication graph, followed by Phase 3's release.
+func (a DownUp) Build(cg *cgraph.CG) (*routing.Function, error) {
+	scheme := turnmodel.EightDir{}
+	sys := turnmodel.NewSystem(cg, scheme, turnmodel.NewMask(scheme.NumDirs(), ProhibitedTurns()))
+	f := &routing.Function{AlgorithmName: a.Name(), Sys: sys}
+	if !a.DisableRelease {
+		f.Released = turnmodel.Release(sys, ReleaseCandidates())
+	}
+	return f, nil
+}
+
+// StagedProhibited derives the prohibited set by replaying the paper's
+// Phase 2 step by step (§4.2 Steps 1-4), returning the turns removed at
+// each step. The concatenation equals ProhibitedTurns up to order — the
+// unit tests assert set equality — so the closed-form list above is what
+// Build uses.
+//
+// The steps:
+//
+//	Step 1 — break the opposite-direction two-cycles of the four node pairs
+//	         (Figure 2): remove T(LU_CROSS,RD_CROSS) and
+//	         T(RU_CROSS,LD_CROSS) (push cross traffic down before up),
+//	         T(L_CROSS,R_CROSS) (arbitrary, per the paper), and
+//	         T(RD_TREE,LU_TREE) (keep tree traffic off the root's return
+//	         path).
+//	Step 2 — combining ADDG1 and ADDG2 creates the cycles C1 and C2 of
+//	         Figure 4; remove T(RU_CROSS,RD_CROSS) and T(LU_CROSS,LD_CROSS)
+//	         so that no up-cross direction can precede a down-cross one.
+//	Step 3 — combining with ADDG3 = {L_CROSS, R_CROSS} can close cycles of
+//	         the shape up-cross -> horizontal -> down-cross -> up-cross
+//	         (Observation 5); remove the four up-cross-to-horizontal turns
+//	         T({L,R}U_CROSS, {L,R}_CROSS) — "edges from nodes in Region 1
+//	         to nodes in ADDG3" with Region 1 the up-cross pair. (The §4.3
+//	         listing prints these four turns with flipped orientation; see
+//	         the ListedProhibitedTurns erratum.)
+//	Step 4 — adding RD_TREE admits the cycles C3 and C4 of Figure 6; remove
+//	         T(LU_CROSS,RD_TREE) and T(RU_CROSS,RD_TREE). Adding LU_TREE
+//	         last, remove every turn from an ADDG6 direction into LU_TREE
+//	         (six turns; together with Step 1's T(RD_TREE,LU_TREE), all
+//	         seven turns into LU_TREE are prohibited).
+func StagedProhibited() (steps [][]turnmodel.Turn) {
+	step1 := []turnmodel.Turn{
+		{From: d(cgraph.LUCross), To: d(cgraph.RDCross)},
+		{From: d(cgraph.RUCross), To: d(cgraph.LDCross)},
+		{From: d(cgraph.LCross), To: d(cgraph.RCross)},
+		{From: d(cgraph.RDTree), To: d(cgraph.LUTree)},
+	}
+	step2 := []turnmodel.Turn{
+		{From: d(cgraph.RUCross), To: d(cgraph.RDCross)},
+		{From: d(cgraph.LUCross), To: d(cgraph.LDCross)},
+	}
+	step3 := []turnmodel.Turn{
+		{From: d(cgraph.RUCross), To: d(cgraph.RCross)},
+		{From: d(cgraph.RUCross), To: d(cgraph.LCross)},
+		{From: d(cgraph.LUCross), To: d(cgraph.RCross)},
+		{From: d(cgraph.LUCross), To: d(cgraph.LCross)},
+	}
+	step4 := []turnmodel.Turn{
+		{From: d(cgraph.LUCross), To: d(cgraph.RDTree)},
+		{From: d(cgraph.RUCross), To: d(cgraph.RDTree)},
+		{From: d(cgraph.RDCross), To: d(cgraph.LUTree)},
+		{From: d(cgraph.LDCross), To: d(cgraph.LUTree)},
+		{From: d(cgraph.LUCross), To: d(cgraph.LUTree)},
+		{From: d(cgraph.RUCross), To: d(cgraph.LUTree)},
+		{From: d(cgraph.LCross), To: d(cgraph.LUTree)},
+		{From: d(cgraph.RCross), To: d(cgraph.LUTree)},
+	}
+	return [][]turnmodel.Turn{step1, step2, step3, step4}
+}
+
+// Validate checks DOWN/UP-specific structural invariants on a built
+// function beyond the generic Verify: LU_TREE must never be re-enterable
+// (no released turn may point into it) and releases may only concern the
+// two ReleaseCandidates turn types. It is used by tests and the harness.
+func Validate(f *routing.Function) error {
+	base := turnmodel.NewMask(8, ProhibitedTurns())
+	cands := ReleaseCandidates()
+	for v, m := range f.Sys.Allowed {
+		for d1 := turnmodel.Dir(0); d1 < 8; d1++ {
+			for d2 := turnmodel.Dir(0); d2 < 8; d2++ {
+				if d1 == d2 {
+					continue
+				}
+				if m.Allowed(d1, d2) && !base.Allowed(d1, d2) {
+					ok := false
+					for _, c := range cands {
+						if c.From == d1 && c.To == d2 {
+							ok = true
+						}
+					}
+					if !ok {
+						return fmt.Errorf("core: node %d allows non-candidate prohibited turn %v->%v", v, d1, d2)
+					}
+				}
+				if !m.Allowed(d1, d2) && base.Allowed(d1, d2) {
+					return fmt.Errorf("core: node %d prohibits turn %v->%v that PT allows", v, d1, d2)
+				}
+			}
+		}
+	}
+	return nil
+}

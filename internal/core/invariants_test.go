@@ -1,0 +1,220 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cgraph"
+	"repro/internal/ctree"
+	"repro/internal/routing"
+	"repro/internal/turnmodel"
+)
+
+// TestNonLeafHasTreeDownOutput checks the paper's Phase 3 rationale: "each
+// node in a CG, except the leaves of a corresponding CT, has the output
+// channel with direction RD_TREE" — which is why the release candidates
+// target turns onto RD_TREE.
+func TestNonLeafHasTreeDownOutput(t *testing.T) {
+	cg := randomCG(t, 3, 48, 4, ctree.M1)
+	tree := cg.Tree
+	isLeaf := make([]bool, tree.N())
+	for _, l := range tree.Leaves() {
+		isLeaf[l] = true
+	}
+	for v := 0; v < cg.N(); v++ {
+		hasRDTree := false
+		hasLUTree := false
+		for _, c := range cg.Out[v] {
+			switch cg.Channels[c].Dir {
+			case cgraph.RDTree:
+				hasRDTree = true
+			case cgraph.LUTree:
+				hasLUTree = true
+			}
+		}
+		if isLeaf[v] && hasRDTree {
+			t.Fatalf("leaf %d has an RD_TREE output", v)
+		}
+		if !isLeaf[v] && !hasRDTree {
+			t.Fatalf("non-leaf %d lacks an RD_TREE output", v)
+		}
+		if v != tree.Root && !hasLUTree {
+			t.Fatalf("non-root %d lacks an LU_TREE output", v)
+		}
+		if v == tree.Root && hasLUTree {
+			t.Fatalf("root has an LU_TREE output")
+		}
+	}
+}
+
+// TestLUTreeNeverReenterable: at every node of a built DOWN/UP function —
+// releases included — every turn into LU_TREE stays prohibited, the
+// root-shielding invariant the algorithm's deadlock argument leans on.
+func TestLUTreeNeverReenterable(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		cg := randomCG(t, seed, 40, 5, ctree.M1)
+		f, err := DownUp{}.Build(cg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, m := range f.Sys.Allowed {
+			for from := turnmodel.Dir(0); from < 8; from++ {
+				if from == d(cgraph.LUTree) {
+					continue
+				}
+				if m.Allowed(from, d(cgraph.LUTree)) {
+					t.Fatalf("seed %d node %d allows %v -> LU_TREE",
+						seed, v, cgraph.Direction(from))
+				}
+			}
+		}
+	}
+}
+
+// TestReleasedNodesHaveTheChannels: a node can only have a released turn if
+// it has both an up-cross in-channel and a tree-down out-channel (otherwise
+// the release is vacuous and Release leaves the prohibition in place).
+func TestReleasedNodesHaveTheChannels(t *testing.T) {
+	cg := randomCG(t, 7, 128, 4, ctree.M1)
+	f, err := DownUp{}.Build(cg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Released == 0 {
+		t.Skip("no releases on this draw")
+	}
+	base := turnmodel.NewMask(8, ProhibitedTurns())
+	for v, m := range f.Sys.Allowed {
+		for _, cand := range ReleaseCandidates() {
+			if !m.Allowed(cand.From, cand.To) || base.Allowed(cand.From, cand.To) {
+				continue
+			}
+			hasIn, hasOut := false, false
+			for _, c := range cg.In[v] {
+				if turnmodel.Dir(cg.Channels[c].Dir) == cand.From {
+					hasIn = true
+				}
+			}
+			for _, c := range cg.Out[v] {
+				if turnmodel.Dir(cg.Channels[c].Dir) == cand.To {
+					hasOut = true
+				}
+			}
+			if !hasIn || !hasOut {
+				t.Fatalf("node %d released %v without the channels to use it", v, cand)
+			}
+		}
+	}
+}
+
+// TestPTIsLemma1Converse: the DOWN/UP prohibited set is itself an instance
+// of the paper's Figure 1(f) subtlety — its direction-level DDG contains
+// cycles (e.g. RD_TREE -> L_CROSS -> RD_TREE), yet no communication graph
+// realizes a turn cycle under it. Lemma 1's cheap test is therefore
+// insufficient to validate DOWN/UP; the channel-level check is required.
+func TestPTIsLemma1Converse(t *testing.T) {
+	mask := turnmodel.NewMask(8, ProhibitedTurns())
+	ddg := turnmodel.DDGFromMask(8, mask)
+	if ddg.Acyclic() {
+		t.Fatal("PT's DDG is acyclic; expected direction-level cycles")
+	}
+	// Channel level: no turn cycles on a battery of CGs.
+	for seed := uint64(0); seed < 5; seed++ {
+		cg := randomCG(t, seed, 32, 5, ctree.M3)
+		sys := turnmodel.NewSystem(cg, turnmodel.EightDir{}, mask)
+		if cyc := sys.FindTurnCycle(); cyc != nil {
+			t.Fatalf("seed %d: %s", seed, sys.DescribeCycle(cyc))
+		}
+	}
+}
+
+// TestDownUpMaximalityGap quantifies Definition 11 on real networks: after
+// Phase 3, how many uniformly prohibited turns remain releasable for the
+// whole CG? (The paper releases only two turn types per node; the rest of
+// the gap is the price of its fixed PT. AutoDownUp closes it.)
+func TestDownUpMaximalityGap(t *testing.T) {
+	cg := randomCG(t, 11, 48, 4, ctree.M1)
+	f, err := DownUp{}.Build(cg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := turnmodel.RedundantProhibitions(f.Sys)
+	// No assertion on the count (topology-dependent); the call must simply
+	// succeed and not report turns into LU_TREE as redundant unless they
+	// truly are safe — and if it does report some, applying them must stay
+	// acyclic (checked inside RedundantProhibitions' own tests). Spot-check
+	// safety here too.
+	for v := range f.Sys.Allowed {
+		for _, turn := range red {
+			f.Sys.Allowed[v] = f.Sys.Allowed[v].Allow(turn.From, turn.To)
+		}
+	}
+	if !f.Sys.Acyclic() {
+		t.Fatal("applying reported redundant prohibitions broke acyclicity")
+	}
+}
+
+// TestTheorem1TreePathAlwaysLegal mechanizes Theorem 1's connectivity
+// argument: for every ordered pair, the explicit tree path (climb LU_TREE
+// channels to the least common ancestor, then descend RD_TREE channels) is
+// legal under the DOWN/UP turn rules, and the routing table's distance
+// never exceeds its length.
+func TestTheorem1TreePathAlwaysLegal(t *testing.T) {
+	cg := randomCG(t, 13, 40, 4, ctree.M1)
+	f, err := DownUp{}.Build(cg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := routing.NewTable(f)
+	tree := cg.Tree
+	// Ancestor chains for LCA computation.
+	depth := func(v int) int { return tree.Level[v] }
+	lca := func(a, b int) int {
+		for depth(a) > depth(b) {
+			a = tree.Parent[a]
+		}
+		for depth(b) > depth(a) {
+			b = tree.Parent[b]
+		}
+		for a != b {
+			a, b = tree.Parent[a], tree.Parent[b]
+		}
+		return a
+	}
+	for src := 0; src < cg.N(); src++ {
+		for dst := 0; dst < cg.N(); dst++ {
+			if src == dst {
+				continue
+			}
+			anc := lca(src, dst)
+			// Assemble the tree path's channels.
+			var path []int
+			for v := src; v != anc; v = tree.Parent[v] {
+				c, ok := cg.ChannelID(v, tree.Parent[v])
+				if !ok {
+					t.Fatalf("missing tree channel %d->%d", v, tree.Parent[v])
+				}
+				path = append(path, c)
+			}
+			var down []int
+			for v := dst; v != anc; v = tree.Parent[v] {
+				c, ok := cg.ChannelID(tree.Parent[v], v)
+				if !ok {
+					t.Fatalf("missing tree channel %d->%d", tree.Parent[v], v)
+				}
+				down = append(down, c)
+			}
+			for i := len(down) - 1; i >= 0; i-- {
+				path = append(path, down[i])
+			}
+			for i := 0; i+1 < len(path); i++ {
+				if !f.Sys.TurnAllowed(path[i], path[i+1]) {
+					t.Fatalf("tree path %d->%d uses a prohibited turn", src, dst)
+				}
+			}
+			if d := tb.Distance(src, dst); d > len(path) {
+				t.Fatalf("table distance %d exceeds tree path %d for %d->%d",
+					d, len(path), src, dst)
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package ctree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+func TestBuildDFSLine(t *testing.T) {
+	tr, err := BuildDFS(topology.Line(5), M1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 5; v++ {
+		if tr.Level[v] != v || tr.X[v] != v {
+			t.Fatalf("node %d: level=%d X=%d", v, tr.Level[v], tr.X[v])
+		}
+	}
+}
+
+func TestBuildDFSRingIsPath(t *testing.T) {
+	// DFS on a ring walks all the way around: depth n-1, unlike BFS
+	// (depth ceil(n/2)).
+	n := 8
+	dfs, err := BuildDFS(topology.Ring(n), M1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfs, err := Build(topology.Ring(n), M1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dfs.Depth() != n {
+		t.Fatalf("DFS depth %d, want %d", dfs.Depth(), n)
+	}
+	if bfs.Depth() >= dfs.Depth() {
+		t.Fatalf("BFS depth %d should be below DFS depth %d", bfs.Depth(), dfs.Depth())
+	}
+}
+
+func TestBuildDFSCrossLinksCanSpanLevels(t *testing.T) {
+	// The defining structural difference from coordinated (BFS) trees:
+	// DFS cross links may span multiple levels.
+	g := topology.Ring(9)
+	tr, err := BuildDFS(g, M1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxSpan := 0
+	for _, e := range g.Edges() {
+		if tr.IsTreeEdge(e.From, e.To) {
+			continue
+		}
+		span := tr.Level[e.From] - tr.Level[e.To]
+		if span < 0 {
+			span = -span
+		}
+		if span > maxSpan {
+			maxSpan = span
+		}
+	}
+	if maxSpan <= 1 {
+		t.Fatalf("ring DFS cross link spans %d levels; expected > 1", maxSpan)
+	}
+}
+
+func TestBuildDFSErrors(t *testing.T) {
+	if _, err := BuildDFS(topology.New(0), M1, nil); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+	g := topology.New(3)
+	g.MustAddEdge(0, 1)
+	if _, err := BuildDFS(g, M1, nil); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+	if _, err := BuildDFS(topology.Ring(4), M2, nil); err == nil {
+		t.Fatal("M2 without rng accepted")
+	}
+}
+
+func TestBuildDFSProperty(t *testing.T) {
+	f := func(seed uint64, polRaw uint8) bool {
+		r := rng.New(seed)
+		g, err := topology.RandomIrregular(topology.IrregularConfig{Switches: 36, Ports: 4}, r.Split())
+		if err != nil {
+			return false
+		}
+		tr, err := BuildDFS(g, Policies[int(polRaw)%3], r.Split())
+		if err != nil {
+			return false
+		}
+		if tr.Validate() != nil {
+			return false
+		}
+		// Spanning: n-1 tree edges.
+		edges := 0
+		for v := range tr.Children {
+			edges += len(tr.Children[v])
+		}
+		return edges == g.N()-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildDFSDeterministicPerSeed(t *testing.T) {
+	g := topology.Petersen()
+	a, err := BuildDFS(g, M2, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildDFS(g, M2, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if a.X[v] != b.X[v] || a.Parent[v] != b.Parent[v] {
+			t.Fatalf("DFS M2 with same seed differs at %d", v)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Package fib compiles routing tables into per-switch forwarding
+// information bases — the artifact an actual deployment (in the spirit of
+// Autonet, the system that introduced up*/down* routing) downloads into its
+// switches. A FIB answers, entirely locally, the only question a switch
+// ever asks: "a header for destination d arrived on input port p; which
+// output ports may it take?" — with the answer restricted to the shortest
+// legal continuations the routing function allows, so a switch using the
+// FIB is deadlock-free and minimal by construction.
+//
+// The package also defines a compact, versioned binary serialization so
+// FIBs can be distributed and loaded without recomputing the routing.
+package fib
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/routing"
+)
+
+// InjectionPort is the input-port value for packets entering from the
+// switch's local processor.
+const InjectionPort = -1
+
+// FIB holds the forwarding tables of every switch in one network.
+//
+// Port numbering at switch v: port k connects to the k-th entry of the
+// switch's neighbor list in ascending neighbor order — the same order the
+// communication graph stores output channels — so port numbers are stable
+// and reproducible from the topology alone.
+type FIB struct {
+	n int
+	// neighbors[v][k] = switch on v's port k.
+	neighbors [][]int32
+	// table[v] is indexed [ (inPort+1) * n + dst ] and holds a bitmask of
+	// allowed output ports (bit k = port k). inPort InjectionPort maps to
+	// row 0.
+	table [][]uint16
+	// algorithm records the routing function's name for provenance.
+	algorithm string
+}
+
+// maxPorts is the largest port count a FIB can encode (bitmask width).
+const maxPorts = 16
+
+// Compile builds the FIB for a routing function from its table. Every
+// (destination, input port) pair at every switch gets the exact set of
+// shortest legal output ports the table would offer.
+func Compile(tb *routing.Table) (*FIB, error) {
+	fn := tb.Function()
+	cg := fn.CG()
+	n := cg.N()
+	f := &FIB{
+		n:         n,
+		neighbors: make([][]int32, n),
+		table:     make([][]uint16, n),
+		algorithm: fn.AlgorithmName,
+	}
+	// Port maps: channel id -> local output port at its From switch, and
+	// -> local input port at its To switch. cg.Out[v] and cg.In[v] are both
+	// ascending by peer id, so output port k and input port k face the same
+	// neighbor.
+	outPort := make([]int, cg.NumChannels())
+	inPort := make([]int, cg.NumChannels())
+	for v := 0; v < n; v++ {
+		if len(cg.Out[v]) > maxPorts {
+			return nil, fmt.Errorf("fib: switch %d has %d ports; the format supports %d",
+				v, len(cg.Out[v]), maxPorts)
+		}
+		f.neighbors[v] = make([]int32, len(cg.Out[v]))
+		for k, c := range cg.Out[v] {
+			outPort[c] = k
+			f.neighbors[v][k] = int32(cg.Channels[c].To)
+		}
+		for k, c := range cg.In[v] {
+			inPort[c] = k
+		}
+	}
+
+	var buf []int
+	for v := 0; v < n; v++ {
+		rows := len(cg.In[v]) + 1
+		f.table[v] = make([]uint16, rows*n)
+		for dst := 0; dst < n; dst++ {
+			if dst == v {
+				continue // headers for the local processor never consult the FIB
+			}
+			// Injection row.
+			buf = tb.NextChannels(dst, routing.InjectionState(v), buf[:0])
+			var mask uint16
+			for _, c := range buf {
+				mask |= 1 << uint(outPort[c])
+			}
+			f.table[v][dst] = mask
+			// One row per input channel.
+			for _, cIn := range cg.In[v] {
+				buf = tb.NextChannels(dst, cIn, buf[:0])
+				mask = 0
+				for _, c := range buf {
+					mask |= 1 << uint(outPort[c])
+				}
+				f.table[v][(inPort[cIn]+1)*n+dst] = mask
+			}
+		}
+	}
+	return f, nil
+}
+
+// N returns the switch count.
+func (f *FIB) N() int { return f.n }
+
+// Algorithm returns the routing function name the FIB was compiled from.
+func (f *FIB) Algorithm() string { return f.algorithm }
+
+// Ports returns the number of connected ports at switch v.
+func (f *FIB) Ports(v int) int { return len(f.neighbors[v]) }
+
+// Neighbor returns the switch on v's port k.
+func (f *FIB) Neighbor(v, k int) int { return int(f.neighbors[v][k]) }
+
+// Lookup returns the allowed output ports, as a bitmask, for a header at
+// switch v that arrived on input port in (InjectionPort for local packets)
+// and is headed for dst. A zero mask means "eject here" when v == dst and
+// is otherwise unreachable on a verified function.
+func (f *FIB) Lookup(v, in, dst int) uint16 {
+	row := in + 1
+	if row < 0 || row > len(f.neighbors[v]) {
+		return 0
+	}
+	return f.table[v][row*f.n+dst]
+}
+
+// LookupPorts appends the allowed output ports to buf.
+func (f *FIB) LookupPorts(v, in, dst int, buf []int) []int {
+	mask := f.Lookup(v, in, dst)
+	for k := 0; mask != 0; k++ {
+		if mask&1 != 0 {
+			buf = append(buf, k)
+		}
+		mask >>= 1
+	}
+	return buf
+}
+
+// SizeBytes returns the serialized size of the forwarding state (table
+// entries only), the figure that matters for switch memory budgeting.
+func (f *FIB) SizeBytes() int {
+	total := 0
+	for v := range f.table {
+		total += 2 * len(f.table[v])
+	}
+	return total
+}
+
+// Binary format:
+//
+//	magic "IRNETFIB" | version u16 | n u32 | algorithm (u16 len + bytes)
+//	per switch: ports u16, neighbors [ports]u32, table [(ports+1)*n]u16
+//
+// All integers little-endian.
+var magic = [8]byte{'I', 'R', 'N', 'E', 'T', 'F', 'I', 'B'}
+
+const formatVersion = 1
+
+// WriteTo serializes the FIB. It implements io.WriterTo.
+func (f *FIB) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	count := int64(0)
+	write := func(data any) error {
+		if err := binary.Write(bw, binary.LittleEndian, data); err != nil {
+			return err
+		}
+		count += int64(binary.Size(data))
+		return nil
+	}
+	if err := write(magic); err != nil {
+		return count, err
+	}
+	if err := write(uint16(formatVersion)); err != nil {
+		return count, err
+	}
+	if err := write(uint32(f.n)); err != nil {
+		return count, err
+	}
+	if err := write(uint16(len(f.algorithm))); err != nil {
+		return count, err
+	}
+	if err := write([]byte(f.algorithm)); err != nil {
+		return count, err
+	}
+	for v := 0; v < f.n; v++ {
+		if err := write(uint16(len(f.neighbors[v]))); err != nil {
+			return count, err
+		}
+		for _, nb := range f.neighbors[v] {
+			if err := write(uint32(nb)); err != nil {
+				return count, err
+			}
+		}
+		if err := write(f.table[v]); err != nil {
+			return count, err
+		}
+	}
+	return count, bw.Flush()
+}
+
+// Read deserializes a FIB written by WriteTo, validating structure.
+func Read(r io.Reader) (*FIB, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, fmt.Errorf("fib: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("fib: bad magic %q", m)
+	}
+	var version uint16
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != formatVersion {
+		return nil, fmt.Errorf("fib: unsupported version %d", version)
+	}
+	var n32 uint32
+	if err := binary.Read(br, binary.LittleEndian, &n32); err != nil {
+		return nil, err
+	}
+	const maxSwitches = 1 << 20
+	if n32 == 0 || n32 > maxSwitches {
+		return nil, fmt.Errorf("fib: implausible switch count %d", n32)
+	}
+	n := int(n32)
+	var algLen uint16
+	if err := binary.Read(br, binary.LittleEndian, &algLen); err != nil {
+		return nil, err
+	}
+	algBytes := make([]byte, algLen)
+	if _, err := io.ReadFull(br, algBytes); err != nil {
+		return nil, err
+	}
+	f := &FIB{
+		n:         n,
+		neighbors: make([][]int32, n),
+		table:     make([][]uint16, n),
+		algorithm: string(algBytes),
+	}
+	for v := 0; v < n; v++ {
+		var ports uint16
+		if err := binary.Read(br, binary.LittleEndian, &ports); err != nil {
+			return nil, fmt.Errorf("fib: switch %d: %w", v, err)
+		}
+		if int(ports) > maxPorts {
+			return nil, fmt.Errorf("fib: switch %d claims %d ports", v, ports)
+		}
+		f.neighbors[v] = make([]int32, ports)
+		for k := range f.neighbors[v] {
+			var nb uint32
+			if err := binary.Read(br, binary.LittleEndian, &nb); err != nil {
+				return nil, err
+			}
+			if int(nb) >= n {
+				return nil, fmt.Errorf("fib: switch %d port %d neighbor %d out of range", v, k, nb)
+			}
+			f.neighbors[v][k] = int32(nb)
+		}
+		f.table[v] = make([]uint16, (int(ports)+1)*n)
+		if err := binary.Read(br, binary.LittleEndian, f.table[v]); err != nil {
+			return nil, err
+		}
+		// Masks must fit the port count.
+		full := uint16(1)<<uint(ports) - 1
+		for i, mask := range f.table[v] {
+			if mask&^full != 0 {
+				return nil, fmt.Errorf("fib: switch %d entry %d references a missing port", v, i)
+			}
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,161 @@
+package fib
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/wormsim"
+)
+
+func TestRouterMatchesTableNextChannels(t *testing.T) {
+	tb := buildTable(t, 21, 24, 4, core.DownUp{})
+	f, err := Compile(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := tb.Function().CG()
+	r, err := NewRouter(f, cg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b []int
+	for dst := 0; dst < cg.N(); dst++ {
+		for state := -cg.N(); state < cg.NumChannels(); state++ {
+			a = tb.NextChannels(dst, state, a[:0])
+			b = r.NextChannels(dst, state, b[:0])
+			if len(a) != len(b) {
+				t.Fatalf("dst %d state %d: %v vs %v", dst, state, a, b)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("dst %d state %d: %v vs %v", dst, state, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestRouterSamplePathMatchesTable(t *testing.T) {
+	tb := buildTable(t, 23, 20, 4, routing.LTurn{})
+	f, err := Compile(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(f, tb.Function().CG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same RNG seed => same path (candidate sets are identical and in the
+	// same order).
+	for trial := 0; trial < 100; trial++ {
+		src, dst := trial%20, (trial*3+7)%20
+		ra, rb := rng.New(uint64(trial)), rng.New(uint64(trial))
+		pa, err := tb.SamplePath(src, dst, ra)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := r.SamplePath(src, dst, rb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pa) != len(pb) {
+			t.Fatalf("paths differ: %v vs %v", pa, pb)
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("paths differ: %v vs %v", pa, pb)
+			}
+		}
+		fa, err := tb.FixedPath(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := r.FixedPath(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fa) != len(fb) {
+			t.Fatalf("fixed paths differ: %v vs %v", fa, fb)
+		}
+		for i := range fa {
+			if fa[i] != fb[i] {
+				t.Fatalf("fixed paths differ: %v vs %v", fa, fb)
+			}
+		}
+	}
+}
+
+// TestSimulationViaFIBIsBitIdentical is the artifact's end-to-end test: a
+// wormhole simulation driven by the compiled (and serialization-round-
+// tripped) FIB produces exactly the same results as one driven by the
+// routing table it was compiled from.
+func TestSimulationViaFIBIsBitIdentical(t *testing.T) {
+	tb := buildTable(t, 25, 28, 4, core.DownUp{})
+	fn := tb.Function()
+	fb, err := Compile(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip through the wire format first: simulate what a switch
+	// would actually load.
+	var buf bytes.Buffer
+	if _, err := fb.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := NewRouter(loaded, fn.CG())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, mode := range []wormsim.Mode{wormsim.SourceRouted, wormsim.Adaptive, wormsim.Deterministic} {
+		cfg := wormsim.Config{
+			PacketLength:  16,
+			Mode:          mode,
+			InjectionRate: 0.15,
+			WarmupCycles:  500,
+			MeasureCycles: 4000,
+			Seed:          7,
+		}
+		runWith := func(ps routing.PathSource) *wormsim.Result {
+			sim, err := wormsim.New(fn, ps, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		a := runWith(tb)
+		b := runWith(router)
+		if a.FlitsDelivered != b.FlitsDelivered || a.PacketsDelivered != b.PacketsDelivered ||
+			a.AvgLatency != b.AvgLatency || a.MaxLatency != b.MaxLatency {
+			t.Fatalf("mode %v: FIB-driven simulation differs: %+v vs %+v", mode, a, b)
+		}
+		for c := range a.ChannelFlits {
+			if a.ChannelFlits[c] != b.ChannelFlits[c] {
+				t.Fatalf("mode %v: channel %d counters differ", mode, c)
+			}
+		}
+	}
+}
+
+func TestNewRouterRejectsMismatch(t *testing.T) {
+	tb := buildTable(t, 27, 12, 4, routing.UpDown{})
+	f, err := Compile(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := buildTable(t, 28, 14, 4, routing.UpDown{})
+	if _, err := NewRouter(f, other.Function().CG()); err == nil {
+		t.Fatal("mismatched graph accepted")
+	}
+}

@@ -1,0 +1,430 @@
+// Package harness reproduces the paper's evaluation (§5): it generates the
+// random irregular test networks, builds every (tree policy × routing
+// algorithm) configuration, sweeps injection rates on the wormhole
+// simulator, and aggregates the paper's six metrics over test samples.
+//
+// One call to Run produces the data behind all of the paper's exhibits:
+//
+//   - Figure 8 (a, b) — average message latency vs accepted traffic curves
+//     per port count, tree policy, and algorithm;
+//   - Table 1 — node utilization at maximal throughput;
+//   - Table 2 — traffic load (stddev of node utilization);
+//   - Table 3 — degree of hot spots (levels 0-1 share);
+//   - Table 4 — leaves utilization.
+//
+// Runs are deterministic: every topology and simulation seed is derived
+// from Options.Seed by position, so results do not depend on goroutine
+// scheduling.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/cgraph"
+	"repro/internal/core"
+	"repro/internal/ctree"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/wormsim"
+)
+
+// Options configures a full evaluation run.
+type Options struct {
+	// Switches per network (paper: 128).
+	Switches int
+	// Ports lists the switch port configurations to test (paper: 4 and 8).
+	Ports []int
+	// Samples is the number of random networks per port configuration
+	// (paper: 10).
+	Samples int
+	// Policies lists the coordinated-tree construction methods (paper: M1,
+	// M2, M3).
+	Policies []ctree.Policy
+	// Algorithms lists the routing algorithms to compare (paper: L-turn and
+	// DOWN/UP; this harness accepts any set).
+	Algorithms []routing.Algorithm
+	// PacketLength in flits (paper: 128).
+	PacketLength int
+	// Rates is the injection-rate sweep in flits/clock/node.
+	Rates []float64
+	// WarmupCycles and MeasureCycles parameterize each simulation.
+	WarmupCycles  int
+	MeasureCycles int
+	// Mode selects source-routed (paper) or adaptive simulation.
+	Mode wormsim.Mode
+	// VirtualChannels per physical channel (0 or 1 = plain wormhole, the
+	// paper's configuration).
+	VirtualChannels int
+	// Seed drives all randomness.
+	Seed uint64
+	// Parallelism bounds concurrent simulations (default: GOMAXPROCS).
+	Parallelism int
+	// Progress, if non-nil, receives one line per completed cell.
+	Progress io.Writer
+}
+
+// PaperOptions returns the full paper-scale configuration. A complete run
+// simulates 2 ports x 10 samples x 3 policies x 2 algorithms x len(Rates)
+// networks and takes minutes; see QuickOptions for a fast variant.
+func PaperOptions() Options {
+	return Options{
+		Switches:      128,
+		Ports:         []int{4, 8},
+		Samples:       10,
+		Policies:      []ctree.Policy{ctree.M1, ctree.M2, ctree.M3},
+		Algorithms:    []routing.Algorithm{routing.LTurn{}, core.DownUp{}},
+		PacketLength:  128,
+		Rates:         []float64{0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.45, 0.65},
+		WarmupCycles:  4000,
+		MeasureCycles: 16000,
+		Seed:          20040815, // ICPP 2004
+	}
+}
+
+// QuickOptions returns a scaled-down configuration (small networks, short
+// packets, short windows) that preserves the experiment's structure; tests
+// and default benchmarks use it.
+func QuickOptions() Options {
+	o := PaperOptions()
+	o.Switches = 32
+	o.Samples = 2
+	o.PacketLength = 32
+	o.Rates = []float64{0.05, 0.15, 0.35}
+	o.WarmupCycles = 1000
+	o.MeasureCycles = 4000
+	return o
+}
+
+func (o Options) validate() error {
+	if o.Switches < 2 {
+		return fmt.Errorf("harness: Switches %d < 2", o.Switches)
+	}
+	if len(o.Ports) == 0 || len(o.Policies) == 0 || len(o.Algorithms) == 0 || len(o.Rates) == 0 {
+		return fmt.Errorf("harness: empty Ports/Policies/Algorithms/Rates")
+	}
+	if o.Samples < 1 {
+		return fmt.Errorf("harness: Samples %d < 1", o.Samples)
+	}
+	for _, r := range o.Rates {
+		if r <= 0 || r > 1 {
+			return fmt.Errorf("harness: rate %v outside (0, 1]", r)
+		}
+	}
+	return nil
+}
+
+// CellKey identifies one configuration: a port count, a tree policy, and a
+// routing algorithm.
+type CellKey struct {
+	Ports     int
+	Policy    ctree.Policy
+	Algorithm string
+}
+
+func (k CellKey) String() string {
+	return fmt.Sprintf("%d-port/%s/%s", k.Ports, k.Policy, k.Algorithm)
+}
+
+// CurvePoint is one Figure 8 point: the sweep's offered rate and the
+// sample-averaged accepted traffic and latency.
+type CurvePoint struct {
+	OfferedRate float64
+	Accepted    float64
+	AvgLatency  float64
+}
+
+// Cell aggregates all samples of one configuration.
+type Cell struct {
+	Key CellKey
+	// Curve holds one point per sweep rate (Figure 8).
+	Curve []CurvePoint
+	// MaxThroughput is the sample-averaged maximal accepted traffic
+	// (flits/clock/node).
+	MaxThroughput float64
+	// The paper's Table 1-4 metrics, measured at each sample's maximal
+	// throughput and averaged over samples.
+	NodeUtilization   float64
+	TrafficLoad       float64
+	HotSpotDegree     float64
+	LeavesUtilization float64
+	// AvgPathLength is the sample-averaged legal shortest path length.
+	AvgPathLength float64
+	// ReleasedTurns is the sample-averaged count of Phase 3 releases.
+	ReleasedTurns float64
+	// Spread holds the across-sample standard deviations of the headline
+	// metrics, for judging whether a gap between cells is meaningful.
+	Spread CellSpread
+}
+
+// CellSpread carries across-sample standard deviations.
+type CellSpread struct {
+	MaxThroughput     float64
+	NodeUtilization   float64
+	TrafficLoad       float64
+	HotSpotDegree     float64
+	LeavesUtilization float64
+}
+
+// Results is the full evaluation output.
+type Results struct {
+	Options Options
+	Cells   []Cell
+}
+
+// Cell returns the cell with the given key, or nil.
+func (r *Results) Cell(ports int, policy ctree.Policy, algorithm string) *Cell {
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Key.Ports == ports && c.Key.Policy == policy && c.Key.Algorithm == algorithm {
+			return c
+		}
+	}
+	return nil
+}
+
+// runOutcome is one simulation's digest.
+type runOutcome struct {
+	accepted float64
+	latency  float64
+	stats    metrics.NodeStats
+}
+
+// Run executes the full evaluation.
+func Run(opts Options) (*Results, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if opts.PacketLength == 0 {
+		opts.PacketLength = 128
+	}
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+
+	// Generate topologies: one per (ports, sample), deterministic by
+	// position.
+	type netKey struct{ pi, si int }
+	nets := make(map[netKey]*topology.Graph)
+	for pi, ports := range opts.Ports {
+		cfg := topology.IrregularConfig{Switches: opts.Switches, Ports: ports, Fill: 1}
+		for si := 0; si < opts.Samples; si++ {
+			seed := deriveSeed(opts.Seed, uint64(pi), uint64(si), 0, 0, 0)
+			g, err := topology.RandomIrregular(cfg, rng.New(seed))
+			if err != nil {
+				return nil, fmt.Errorf("harness: topology ports=%d sample=%d: %w", ports, si, err)
+			}
+			nets[netKey{pi, si}] = g
+		}
+	}
+
+	// Per-(cell, sample) prepared routing functions and tables.
+	type prep struct {
+		fn *routing.Function
+		tb *routing.Table
+	}
+	type cellSample struct {
+		pi, poli, ai, si int
+	}
+	var work []cellSample
+	for pi := range opts.Ports {
+		for poli := range opts.Policies {
+			for ai := range opts.Algorithms {
+				for si := 0; si < opts.Samples; si++ {
+					work = append(work, cellSample{pi, poli, ai, si})
+				}
+			}
+		}
+	}
+	preps := make(map[cellSample]prep, len(work))
+	released := make(map[cellSample]int, len(work))
+	pathLen := make(map[cellSample]float64, len(work))
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for _, cs := range work {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(cs cellSample) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			g := nets[netKey{cs.pi, cs.si}]
+			var treeRng *rng.Rng
+			if opts.Policies[cs.poli] == ctree.M2 {
+				treeRng = rng.New(deriveSeed(opts.Seed, uint64(cs.pi), uint64(cs.si), uint64(cs.poli), 1, 0))
+			}
+			tr, err := ctree.Build(g, opts.Policies[cs.poli], treeRng)
+			if err == nil {
+				cg := cgraph.Build(tr)
+				var fn *routing.Function
+				fn, err = opts.Algorithms[cs.ai].Build(cg)
+				if err == nil {
+					err = fn.Verify()
+					if err == nil {
+						tb := routing.NewTable(fn)
+						mu.Lock()
+						preps[cs] = prep{fn, tb}
+						released[cs] = fn.Released
+						pathLen[cs] = tb.AvgPathLength()
+						mu.Unlock()
+					}
+				}
+			}
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("harness: prepare %v sample %d: %w",
+						CellKey{opts.Ports[cs.pi], opts.Policies[cs.poli], opts.Algorithms[cs.ai].Name()}, cs.si, err)
+				}
+				mu.Unlock()
+			}
+		}(cs)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Simulations: (cell, sample, rate).
+	outcomes := make(map[cellSample][]runOutcome)
+	for _, cs := range work {
+		outcomes[cs] = make([]runOutcome, len(opts.Rates))
+	}
+	for _, cs := range work {
+		for ri := range opts.Rates {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(cs cellSample, ri int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				p := preps[cs]
+				cfg := wormsim.Config{
+					PacketLength:    opts.PacketLength,
+					VirtualChannels: opts.VirtualChannels,
+					InjectionRate:   opts.Rates[ri],
+					Mode:            opts.Mode,
+					WarmupCycles:    opts.WarmupCycles,
+					MeasureCycles:   opts.MeasureCycles,
+					Seed:            deriveSeed(opts.Seed, uint64(cs.pi), uint64(cs.si), uint64(cs.poli), uint64(cs.ai)+2, uint64(ri)+1),
+				}
+				sim, err := wormsim.New(p.fn, p.tb, cfg)
+				var res *wormsim.Result
+				if err == nil {
+					res, err = sim.Run()
+				}
+				var st metrics.NodeStats
+				if err == nil {
+					st, err = metrics.ComputeNodeStats(p.fn.CG(), res.ChannelFlits, res.MeasuredCycles)
+				}
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("harness: simulate %v sample %d rate %v: %w",
+							CellKey{opts.Ports[cs.pi], opts.Policies[cs.poli], opts.Algorithms[cs.ai].Name()}, cs.si, opts.Rates[ri], err)
+					}
+				} else {
+					outcomes[cs][ri] = runOutcome{
+						accepted: res.AcceptedTraffic,
+						latency:  res.AvgLatency,
+						stats:    st,
+					}
+				}
+				mu.Unlock()
+			}(cs, ri)
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Aggregate into cells.
+	results := &Results{Options: opts}
+	for pi, ports := range opts.Ports {
+		for poli, policy := range opts.Policies {
+			for ai, alg := range opts.Algorithms {
+				cell := Cell{Key: CellKey{ports, policy, alg.Name()}}
+				var maxT, nodeU, load, hot, leaves, apl, rel metrics.Welford
+				curves := make([]metrics.Welford, 2*len(opts.Rates)) // accepted, latency
+				for si := 0; si < opts.Samples; si++ {
+					cs := cellSample{pi, poli, ai, si}
+					outs := outcomes[cs]
+					best := 0
+					for ri := range outs {
+						curves[2*ri].Add(outs[ri].accepted)
+						curves[2*ri+1].Add(outs[ri].latency)
+						if outs[ri].accepted > outs[best].accepted {
+							best = ri
+						}
+					}
+					maxT.Add(outs[best].accepted)
+					nodeU.Add(outs[best].stats.Mean)
+					load.Add(outs[best].stats.TrafficLoad)
+					hot.Add(outs[best].stats.HotSpotDegree)
+					leaves.Add(outs[best].stats.LeavesUtilization)
+					apl.Add(pathLen[cs])
+					rel.Add(float64(released[cs]))
+				}
+				for ri, rate := range opts.Rates {
+					cell.Curve = append(cell.Curve, CurvePoint{
+						OfferedRate: rate,
+						Accepted:    curves[2*ri].Mean(),
+						AvgLatency:  curves[2*ri+1].Mean(),
+					})
+				}
+				cell.MaxThroughput = maxT.Mean()
+				cell.NodeUtilization = nodeU.Mean()
+				cell.TrafficLoad = load.Mean()
+				cell.HotSpotDegree = hot.Mean()
+				cell.LeavesUtilization = leaves.Mean()
+				cell.AvgPathLength = apl.Mean()
+				cell.ReleasedTurns = rel.Mean()
+				cell.Spread = CellSpread{
+					MaxThroughput:     maxT.Std(),
+					NodeUtilization:   nodeU.Std(),
+					TrafficLoad:       load.Std(),
+					HotSpotDegree:     hot.Std(),
+					LeavesUtilization: leaves.Std(),
+				}
+				results.Cells = append(results.Cells, cell)
+				if opts.Progress != nil {
+					fmt.Fprintf(opts.Progress, "done %-28s maxThroughput=%.4f nodeUtil=%.4f hotSpots=%.2f%%\n",
+						cell.Key, cell.MaxThroughput, cell.NodeUtilization, cell.HotSpotDegree)
+				}
+			}
+		}
+	}
+	sortCells(results.Cells)
+	return results, nil
+}
+
+func sortCells(cells []Cell) {
+	sort.Slice(cells, func(i, j int) bool {
+		a, b := cells[i].Key, cells[j].Key
+		if a.Ports != b.Ports {
+			return a.Ports < b.Ports
+		}
+		if a.Policy != b.Policy {
+			return a.Policy < b.Policy
+		}
+		return a.Algorithm < b.Algorithm
+	})
+}
+
+// deriveSeed mixes the experiment coordinates into a stable 64-bit seed.
+func deriveSeed(base, a, b, c, d, e uint64) uint64 {
+	x := base
+	for _, v := range [...]uint64{a, b, c, d, e} {
+		x ^= v + 0x9e3779b97f4a7c15 + (x << 6) + (x >> 2)
+		x *= 0xff51afd7ed558ccd
+		x ^= x >> 33
+	}
+	return x
+}

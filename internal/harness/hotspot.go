@@ -1,0 +1,198 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cgraph"
+	"repro/internal/core"
+	"repro/internal/ctree"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/internal/wormsim"
+)
+
+// HotspotOptions configures the hot-spot study: the workload of Pfister and
+// Norton's hot-spot contention analysis (the paper's reference [5] and the
+// namesake of its Table 3 metric), applied to the tree-based routing
+// algorithms. A fraction of all packets targets a small set of hot
+// switches; the study sweeps that fraction and reports how each algorithm's
+// throughput and root congestion degrade.
+type HotspotOptions struct {
+	// Switches and Ports shape the random irregular networks.
+	Switches int
+	Ports    int
+	// Samples is the number of random networks to average over.
+	Samples int
+	// Algorithms to compare.
+	Algorithms []routing.Algorithm
+	// Fractions is the sweep of hot-traffic fractions in [0, 1).
+	Fractions []float64
+	// HotSpots is the number of hot destinations (chosen among tree leaves,
+	// deterministically per sample).
+	HotSpots int
+	// InjectionRate is the offered load in flits/clock/node.
+	InjectionRate float64
+	// PacketLength in flits.
+	PacketLength int
+	// WarmupCycles and MeasureCycles parameterize each simulation.
+	WarmupCycles  int
+	MeasureCycles int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultHotspotOptions returns a moderate configuration comparing DOWN/UP
+// with L-turn and up*/down*.
+func DefaultHotspotOptions() HotspotOptions {
+	return HotspotOptions{
+		Switches:      64,
+		Ports:         4,
+		Samples:       3,
+		Algorithms:    []routing.Algorithm{core.DownUp{}, routing.LTurn{}, routing.UpDown{}},
+		Fractions:     []float64{0, 0.1, 0.2, 0.4},
+		HotSpots:      2,
+		InjectionRate: 0.1,
+		PacketLength:  32,
+		WarmupCycles:  2000,
+		MeasureCycles: 8000,
+		Seed:          5,
+	}
+}
+
+// HotspotPoint is one (algorithm, fraction) aggregate.
+type HotspotPoint struct {
+	Algorithm     string
+	Fraction      float64
+	Accepted      float64
+	AvgLatency    float64
+	HotSpotDegree float64
+	TrafficLoad   float64
+}
+
+// HotspotResults is the study's output.
+type HotspotResults struct {
+	Options HotspotOptions
+	Points  []HotspotPoint
+}
+
+// HotspotStudy runs the sweep. Algorithms lacking an entry in Options use
+// the default set.
+func HotspotStudy(opts HotspotOptions) (*HotspotResults, error) {
+	if opts.Switches < 4 || opts.Samples < 1 || len(opts.Fractions) == 0 {
+		return nil, fmt.Errorf("harness: bad hotspot options %+v", opts)
+	}
+	if len(opts.Algorithms) == 0 {
+		opts.Algorithms = DefaultHotspotOptions().Algorithms
+	}
+	res := &HotspotResults{Options: opts}
+	type acc struct {
+		accepted, latency, hot, load metrics.Welford
+	}
+	accs := make([]acc, len(opts.Algorithms)*len(opts.Fractions))
+
+	for si := 0; si < opts.Samples; si++ {
+		g, err := topology.RandomIrregular(
+			topology.IrregularConfig{Switches: opts.Switches, Ports: opts.Ports, Fill: 1},
+			rng.New(deriveSeed(opts.Seed, uint64(si), 0, 0, 0, 0)))
+		if err != nil {
+			return nil, err
+		}
+		tr, err := ctree.Build(g, ctree.M1, nil)
+		if err != nil {
+			return nil, err
+		}
+		cg := cgraph.Build(tr)
+		leaves := tr.Leaves()
+		spots := make([]int, 0, opts.HotSpots)
+		for i := 0; i < opts.HotSpots && i < len(leaves); i++ {
+			spots = append(spots, leaves[(i*len(leaves))/maxInt(opts.HotSpots, 1)])
+		}
+		for ai, alg := range opts.Algorithms {
+			fn, err := alg.Build(cg)
+			if err != nil {
+				return nil, err
+			}
+			if err := fn.Verify(); err != nil {
+				return nil, err
+			}
+			tb := routing.NewTable(fn)
+			for fi, frac := range opts.Fractions {
+				cfg := wormsim.Config{
+					PacketLength:  opts.PacketLength,
+					InjectionRate: opts.InjectionRate,
+					Pattern:       traffic.Hotspot{N: g.N(), Spots: spots, Fraction: frac},
+					WarmupCycles:  opts.WarmupCycles,
+					MeasureCycles: opts.MeasureCycles,
+					Seed:          deriveSeed(opts.Seed, uint64(si), uint64(ai)+1, uint64(fi)+1, 0, 0),
+				}
+				sim, err := wormsim.New(fn, tb, cfg)
+				if err != nil {
+					return nil, err
+				}
+				out, err := sim.Run()
+				if err != nil {
+					return nil, err
+				}
+				st, err := metrics.ComputeNodeStats(cg, out.ChannelFlits, out.MeasuredCycles)
+				if err != nil {
+					return nil, err
+				}
+				a := &accs[ai*len(opts.Fractions)+fi]
+				a.accepted.Add(out.AcceptedTraffic)
+				a.latency.Add(out.AvgLatency)
+				a.hot.Add(st.HotSpotDegree)
+				a.load.Add(st.TrafficLoad)
+			}
+		}
+	}
+	for ai, alg := range opts.Algorithms {
+		for fi, frac := range opts.Fractions {
+			a := &accs[ai*len(opts.Fractions)+fi]
+			res.Points = append(res.Points, HotspotPoint{
+				Algorithm:     alg.Name(),
+				Fraction:      frac,
+				Accepted:      a.accepted.Mean(),
+				AvgLatency:    a.latency.Mean(),
+				HotSpotDegree: a.hot.Mean(),
+				TrafficLoad:   a.load.Mean(),
+			})
+		}
+	}
+	return res, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Point returns the aggregate for (algorithm, fraction), or nil.
+func (r *HotspotResults) Point(algorithm string, fraction float64) *HotspotPoint {
+	for i := range r.Points {
+		p := &r.Points[i]
+		if p.Algorithm == algorithm && p.Fraction == fraction {
+			return p
+		}
+	}
+	return nil
+}
+
+// FormatHotspot renders the study as a text table.
+func FormatHotspot(r *HotspotResults) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Hot-spot study: %d switches, %d ports, %d hot leaves, offered %.3f flits/clock/node\n",
+		r.Options.Switches, r.Options.Ports, r.Options.HotSpots, r.Options.InjectionRate)
+	fmt.Fprintf(&b, "%-16s %-10s %-10s %-10s %-10s %-10s\n",
+		"algorithm", "hotFrac", "accepted", "latency", "hotspot%", "load")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-16s %-10.2f %-10.4f %-10.1f %-10.2f %-10.4f\n",
+			p.Algorithm, p.Fraction, p.Accepted, p.AvgLatency, p.HotSpotDegree, p.TrafficLoad)
+	}
+	return b.String()
+}

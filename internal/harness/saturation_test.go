@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/cgraph"
+	"repro/internal/core"
+	"repro/internal/ctree"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/wormsim"
+)
+
+func satSetup(t *testing.T) (*routing.Function, *routing.Table) {
+	t.Helper()
+	g, err := topology.RandomIrregular(topology.IrregularConfig{Switches: 24, Ports: 4}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ctree.Build(g, ctree.M1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := cgraph.Build(tr)
+	fn, err := core.DownUp{}.Build(cg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fn, routing.NewTable(fn)
+}
+
+func TestFindSaturation(t *testing.T) {
+	fn, tb := satSetup(t)
+	cfg := wormsim.Config{
+		PacketLength:  16,
+		WarmupCycles:  800,
+		MeasureCycles: 3000,
+		Seed:          5,
+	}
+	sat, err := FindSaturation(fn, tb, cfg, 0.02, 0.9, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat.Accepted <= 0 || sat.Rate < 0.02 || sat.Rate > 0.9 {
+		t.Fatalf("saturation = %+v", sat)
+	}
+	if sat.Probes < 8 {
+		t.Fatalf("too few probes: %d", sat.Probes)
+	}
+	// The refined peak must be at least what a coarse grid finds at the
+	// bracket edges.
+	for _, rate := range []float64{0.05, 0.85} {
+		c := cfg
+		c.InjectionRate = rate
+		sim, err := wormsim.New(fn, tb, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.AcceptedTraffic > sat.Accepted*1.05 {
+			t.Fatalf("grid rate %v beats refined saturation: %.4f > %.4f",
+				rate, res.AcceptedTraffic, sat.Accepted)
+		}
+	}
+}
+
+func TestFindSaturationValidation(t *testing.T) {
+	fn, tb := satSetup(t)
+	cfg := wormsim.Config{PacketLength: 16, WarmupCycles: 100, MeasureCycles: 500, Seed: 1}
+	cases := []struct{ lo, hi float64 }{{0, 0.5}, {0.5, 0.4}, {0.2, 1.5}}
+	for _, c := range cases {
+		if _, err := FindSaturation(fn, tb, cfg, c.lo, c.hi, 3); err == nil {
+			t.Errorf("bracket [%v,%v] accepted", c.lo, c.hi)
+		}
+	}
+	if _, err := FindSaturation(fn, tb, cfg, 0.1, 0.5, 0); err == nil {
+		t.Error("zero iters accepted")
+	}
+}

@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FigureSVG renders the Figure 8 chart (average message latency vs
+// accepted traffic) for one port configuration as a self-contained SVG
+// document: one polyline per (tree policy, algorithm) series with markers,
+// axes with ticks, and a legend. The output needs no external resources and
+// renders in any browser — the reproduced figure, as a figure.
+func FigureSVG(res *Results, ports int) string {
+	const (
+		w, h                     = 760.0, 520.0
+		left, right, top, bottom = 80.0, 220.0, 40.0, 60.0
+	)
+	plotW := w - left - right
+	plotH := h - top - bottom
+
+	type series struct {
+		name   string
+		color  string
+		dashed bool
+		pts    []CurvePoint
+	}
+	palette := []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+	var all []series
+	maxX, maxY := 0.0, 0.0
+	i := 0
+	for _, pol := range res.Options.Policies {
+		for _, a := range res.Options.Algorithms {
+			c := res.Cell(ports, pol, a.Name())
+			if c == nil {
+				continue
+			}
+			s := series{
+				name:   fmt.Sprintf("%s / %s", pol, a.Name()),
+				color:  palette[i%len(palette)],
+				dashed: strings.Contains(a.Name(), "L-turn"),
+				pts:    c.Curve,
+			}
+			i++
+			for _, p := range c.Curve {
+				if p.Accepted > maxX {
+					maxX = p.Accepted
+				}
+				if p.AvgLatency > maxY {
+					maxY = p.AvgLatency
+				}
+			}
+			all = append(all, s)
+		}
+	}
+	if maxX == 0 {
+		maxX = 1
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	maxX *= 1.05
+	maxY *= 1.05
+
+	sx := func(x float64) float64 { return left + x/maxX*plotW }
+	sy := func(y float64) float64 { return top + plotH - y/maxY*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n", w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%.0f" y="20" font-family="sans-serif" font-size="16" text-anchor="middle">Figure 8 (%d-port): latency vs accepted traffic</text>`+"\n",
+		left+plotW/2, ports)
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		left, top+plotH, left+plotW, top+plotH)
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		left, top, left, top+plotH)
+	for t := 0; t <= 5; t++ {
+		xv := maxX * float64(t) / 5
+		yv := maxY * float64(t) / 5
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+			sx(xv), top+plotH, sx(xv), top+plotH+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="middle">%.3f</text>`+"\n",
+			sx(xv), top+plotH+18, xv)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+			left-5, sy(yv), left, sy(yv))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%.0f</text>`+"\n",
+			left-8, sy(yv)+4, yv)
+	}
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="13" text-anchor="middle">accepted traffic (flits/clock/node)</text>`+"\n",
+		left+plotW/2, h-15)
+	fmt.Fprintf(&b, `<text x="18" y="%.1f" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 18 %.1f)">latency (clocks)</text>`+"\n",
+		top+plotH/2, top+plotH/2)
+
+	// Series.
+	for si, s := range all {
+		var pts []string
+		for _, p := range s.pts {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(p.Accepted), sy(p.AvgLatency)))
+		}
+		dash := ""
+		if s.dashed {
+			dash = ` stroke-dasharray="6,3"`
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"%s/>`+"\n",
+			strings.Join(pts, " "), s.color, dash)
+		for _, p := range s.pts {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n",
+				sx(p.Accepted), sy(p.AvgLatency), s.color)
+		}
+		// Legend entry.
+		ly := top + 14 + float64(si)*20
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2"%s/>`+"\n",
+			left+plotW+14, ly, left+plotW+44, ly, s.color, dash)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			left+plotW+50, ly+4, escapeXML(s.name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// sanityCheckSVGNumbers guards against NaN/Inf leaking into coordinates
+// (would render as a broken document); exposed for tests.
+func sanityCheckSVGNumbers(svg string) error {
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(svg, bad) {
+			return fmt.Errorf("harness: SVG contains %s coordinates", bad)
+		}
+	}
+	return nil
+}

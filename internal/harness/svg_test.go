@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func TestFigureSVG(t *testing.T) {
+	o := tinyOptions()
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := FigureSVG(res, 4)
+	if !strings.HasPrefix(svg, "<svg") {
+		t.Fatalf("not an SVG: %q", svg[:40])
+	}
+	// Must be well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("malformed SVG: %v", err)
+		}
+	}
+	// One polyline per series plus one legend line per series.
+	wantSeries := len(o.Policies) * len(o.Algorithms)
+	if got := strings.Count(svg, "<polyline"); got != wantSeries {
+		t.Fatalf("%d polylines, want %d", got, wantSeries)
+	}
+	if err := sanityCheckSVGNumbers(svg); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 8 (4-port)", "accepted traffic", "latency", "DOWN/UP"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestFigureSVGEmptyPortIsStillValid(t *testing.T) {
+	o := tinyOptions()
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := FigureSVG(res, 99) // no such port config: axes only
+	if !strings.HasPrefix(svg, "<svg") || strings.Count(svg, "<polyline") != 0 {
+		t.Fatal("empty figure malformed")
+	}
+}
+
+func TestEscapeXML(t *testing.T) {
+	if escapeXML(`a<b>&"c"`) != "a&lt;b&gt;&amp;&quot;c&quot;" {
+		t.Fatalf("escapeXML = %q", escapeXML(`a<b>&"c"`))
+	}
+}

@@ -1,0 +1,177 @@
+// Package metrics computes the paper's evaluation metrics from raw
+// simulator counters (paper §5):
+//
+//   - channel utilization — average flits crossing a switch output channel
+//     per clock;
+//   - node utilization — sum of a node's output-channel utilizations
+//     divided by the number of ports connecting to other switches (Table 1);
+//   - traffic load — the standard deviation of node utilization over all
+//     nodes, lower = better balanced (Table 2);
+//   - degree of hot spots — the percentage of total node utilization
+//     carried by nodes in coordinated-tree levels 0 and 1 (Table 3);
+//   - leaves utilization — the average node utilization over the
+//     coordinated tree's leaves (Table 4).
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cgraph"
+)
+
+// NodeStats aggregates the per-node utilization metrics for one simulation.
+type NodeStats struct {
+	// Utilization[v] is node v's utilization.
+	Utilization []float64
+	// Mean is the average node utilization over all nodes (Table 1 reports
+	// this averaged further over test samples).
+	Mean float64
+	// TrafficLoad is the standard deviation of node utilization (Table 2).
+	TrafficLoad float64
+	// HotSpotDegree is the percentage (0-100) of summed node utilization in
+	// tree levels 0 and 1 (Table 3).
+	HotSpotDegree float64
+	// LeavesUtilization is the mean node utilization over tree leaves
+	// (Table 4).
+	LeavesUtilization float64
+	// LevelUtilization[l] is the mean node utilization of coordinated-tree
+	// level l — the full profile behind the hot-spot metric (Table 3 only
+	// reports levels 0-1 as a share; the profile shows where the traffic
+	// actually sits).
+	LevelUtilization []float64
+}
+
+// ComputeNodeStats derives NodeStats from per-channel flit counters.
+// channelFlits[c] is the number of flits that crossed switch-to-switch
+// channel c (a cgraph channel id) during the measurement window of cycles
+// clocks.
+func ComputeNodeStats(cg *cgraph.CG, channelFlits []int64, cycles int) (NodeStats, error) {
+	if len(channelFlits) != cg.NumChannels() {
+		return NodeStats{}, fmt.Errorf("metrics: %d channel counters for %d channels",
+			len(channelFlits), cg.NumChannels())
+	}
+	if cycles <= 0 {
+		return NodeStats{}, fmt.Errorf("metrics: non-positive measurement window %d", cycles)
+	}
+	n := cg.N()
+	st := NodeStats{Utilization: make([]float64, n)}
+	for v := 0; v < n; v++ {
+		ports := len(cg.Out[v])
+		if ports == 0 {
+			continue
+		}
+		var sum int64
+		for _, c := range cg.Out[v] {
+			sum += channelFlits[c]
+		}
+		st.Utilization[v] = float64(sum) / float64(cycles) / float64(ports)
+	}
+	st.Mean = mean(st.Utilization)
+	st.TrafficLoad = stddev(st.Utilization, st.Mean)
+
+	tree := cg.Tree
+	var hot, total float64
+	for v := 0; v < n; v++ {
+		total += st.Utilization[v]
+		if tree.Level[v] <= 1 {
+			hot += st.Utilization[v]
+		}
+	}
+	if total > 0 {
+		st.HotSpotDegree = 100 * hot / total
+	}
+
+	leaves := tree.Leaves()
+	if len(leaves) > 0 {
+		var s float64
+		for _, v := range leaves {
+			s += st.Utilization[v]
+		}
+		st.LeavesUtilization = s / float64(len(leaves))
+	}
+
+	depth := tree.Depth()
+	st.LevelUtilization = make([]float64, depth)
+	levelCount := make([]int, depth)
+	for v := 0; v < n; v++ {
+		st.LevelUtilization[tree.Level[v]] += st.Utilization[v]
+		levelCount[tree.Level[v]]++
+	}
+	for l := range st.LevelUtilization {
+		if levelCount[l] > 0 {
+			st.LevelUtilization[l] /= float64(levelCount[l])
+		}
+	}
+	return st, nil
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func stddev(xs []float64, mu float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mu
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Welford accumulates a running mean and variance without storing samples;
+// the harness uses it to average metrics across test samples and to report
+// their spread.
+type Welford struct {
+	n    int
+	mu   float64
+	m2   float64
+	min  float64
+	max  float64
+	seen bool
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mu
+	w.mu += d / float64(w.n)
+	w.m2 += d * (x - w.mu)
+	if !w.seen || x < w.min {
+		w.min = x
+	}
+	if !w.seen || x > w.max {
+		w.max = x
+	}
+	w.seen = true
+}
+
+// N returns the observation count.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 before any observation).
+func (w *Welford) Mean() float64 { return w.mu }
+
+// Std returns the population standard deviation.
+func (w *Welford) Std() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n))
+}
+
+// Min returns the smallest observation (0 before any observation).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 before any observation).
+func (w *Welford) Max() float64 { return w.max }

@@ -1,0 +1,205 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cgraph"
+	"repro/internal/ctree"
+	"repro/internal/topology"
+)
+
+// starCG builds a star: node 0 root, nodes 1..4 leaves at level 1.
+func starCG(t *testing.T) *cgraph.CG {
+	t.Helper()
+	tr, err := ctree.Build(topology.Star(5), ctree.M1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cgraph.Build(tr)
+}
+
+func TestComputeNodeStatsBasics(t *testing.T) {
+	cg := starCG(t)
+	flits := make([]int64, cg.NumChannels())
+	// Put 100 flits on every channel over 1000 cycles.
+	for i := range flits {
+		flits[i] = 100
+	}
+	st, err := ComputeNodeStats(cg, flits, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 has 4 output channels each at 0.1 utilization -> node util
+	// (0.4)/4 = 0.1; leaves have one output at 0.1 -> 0.1.
+	for v := 0; v < 5; v++ {
+		if math.Abs(st.Utilization[v]-0.1) > 1e-12 {
+			t.Fatalf("node %d utilization %v", v, st.Utilization[v])
+		}
+	}
+	if math.Abs(st.Mean-0.1) > 1e-12 {
+		t.Fatalf("mean %v", st.Mean)
+	}
+	if st.TrafficLoad > 1e-12 {
+		t.Fatalf("uniform utilization should have zero traffic load, got %v", st.TrafficLoad)
+	}
+	// All nodes are in levels 0-1 on a star, so the hot-spot degree is 100%.
+	if math.Abs(st.HotSpotDegree-100) > 1e-9 {
+		t.Fatalf("hot-spot degree %v", st.HotSpotDegree)
+	}
+	if math.Abs(st.LeavesUtilization-0.1) > 1e-12 {
+		t.Fatalf("leaves utilization %v", st.LeavesUtilization)
+	}
+}
+
+func TestComputeNodeStatsHotRoot(t *testing.T) {
+	cg := starCG(t)
+	flits := make([]int64, cg.NumChannels())
+	// Only the root's outputs carry traffic.
+	for _, c := range cg.Out[0] {
+		flits[c] = 500
+	}
+	st, err := ComputeNodeStats(cg, flits, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Utilization[0] != 0.5 {
+		t.Fatalf("root utilization %v", st.Utilization[0])
+	}
+	for v := 1; v < 5; v++ {
+		if st.Utilization[v] != 0 {
+			t.Fatalf("leaf %d utilization %v", v, st.Utilization[v])
+		}
+	}
+	if st.TrafficLoad <= 0 {
+		t.Fatal("skewed utilization must have positive traffic load")
+	}
+	if st.LeavesUtilization != 0 {
+		t.Fatalf("leaves utilization %v", st.LeavesUtilization)
+	}
+}
+
+func TestHotSpotDegreeSeparatesLevels(t *testing.T) {
+	// Line of 4: levels 0,1,2,3; root side hot.
+	tr, err := ctree.Build(topology.Line(4), ctree.M1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := cgraph.Build(tr)
+	flits := make([]int64, cg.NumChannels())
+	c01, _ := cg.ChannelID(0, 1)
+	c23, _ := cg.ChannelID(2, 3)
+	flits[c01] = 300 // node 0 (level 0)
+	flits[c23] = 100 // node 2 (level 2)
+	st, err := ComputeNodeStats(cg, flits, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0: 1 port? node 0 has degree 1, util 0.3. Node 2 degree 2, util
+	// 0.1/2 = 0.05. Hot (levels 0,1) = 0.3 of total 0.35.
+	want := 100 * 0.3 / 0.35
+	if math.Abs(st.HotSpotDegree-want) > 1e-9 {
+		t.Fatalf("hot-spot degree %v, want %v", st.HotSpotDegree, want)
+	}
+}
+
+func TestLevelUtilizationProfile(t *testing.T) {
+	tr, err := ctree.Build(topology.Line(4), ctree.M1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := cgraph.Build(tr)
+	flits := make([]int64, cg.NumChannels())
+	c01, _ := cg.ChannelID(0, 1)
+	c23, _ := cg.ChannelID(2, 3)
+	flits[c01] = 300
+	flits[c23] = 100
+	st, err := ComputeNodeStats(cg, flits, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.LevelUtilization) != 4 {
+		t.Fatalf("levels = %v", st.LevelUtilization)
+	}
+	// Level 0 = node 0 (util 0.3), level 2 = node 2 (util 0.05), others 0.
+	if math.Abs(st.LevelUtilization[0]-0.3) > 1e-12 ||
+		st.LevelUtilization[1] != 0 ||
+		math.Abs(st.LevelUtilization[2]-0.05) > 1e-12 ||
+		st.LevelUtilization[3] != 0 {
+		t.Fatalf("profile = %v", st.LevelUtilization)
+	}
+}
+
+func TestComputeNodeStatsErrors(t *testing.T) {
+	cg := starCG(t)
+	if _, err := ComputeNodeStats(cg, make([]int64, 3), 100); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := ComputeNodeStats(cg, make([]int64, cg.NumChannels()), 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+func TestWelfordAgainstDirect(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var w Welford
+		for _, x := range raw {
+			// Clamp pathological values out of quick's generator.
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			if x > 1e6 {
+				x = 1e6
+			}
+			if x < -1e6 {
+				x = -1e6
+			}
+			w.Add(x)
+		}
+		// Direct two-pass computation (with identical clamping).
+		var xs []float64
+		for _, x := range raw {
+			if x > 1e6 {
+				x = 1e6
+			}
+			if x < -1e6 {
+				x = -1e6
+			}
+			xs = append(xs, x)
+		}
+		mu := 0.0
+		for _, x := range xs {
+			mu += x
+		}
+		mu /= float64(len(xs))
+		ss := 0.0
+		mn, mx := xs[0], xs[0]
+		for _, x := range xs {
+			ss += (x - mu) * (x - mu)
+			if x < mn {
+				mn = x
+			}
+			if x > mx {
+				mx = x
+			}
+		}
+		sd := math.Sqrt(ss / float64(len(xs)))
+		return math.Abs(w.Mean()-mu) < 1e-6 &&
+			math.Abs(w.Std()-sd) < 1e-6 &&
+			w.Min() == mn && w.Max() == mx && w.N() == len(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.N() != 0 || w.Mean() != 0 || w.Std() != 0 {
+		t.Fatal("empty accumulator not zero")
+	}
+}

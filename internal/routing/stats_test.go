@@ -1,0 +1,102 @@
+package routing
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ctree"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+func TestStatsLine(t *testing.T) {
+	cg := buildCG(t, topology.Line(4), ctree.M1, nil)
+	tb := tableFor(t, cg, UpDown{})
+	st, err := tb.Stats(200, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairs at each distance on a 4-line: d1:6, d2:4, d3:2.
+	want := []int{0, 6, 4, 2}
+	if len(st.LengthHistogram) != len(want) {
+		t.Fatalf("histogram %v", st.LengthHistogram)
+	}
+	for k := range want {
+		if st.LengthHistogram[k] != want[k] {
+			t.Fatalf("histogram %v, want %v", st.LengthHistogram, want)
+		}
+	}
+	if st.MaxLength != 3 {
+		t.Fatalf("max %d", st.MaxLength)
+	}
+	// A line has unique paths, so no stretch.
+	if st.MeanStretch != 1.0 || st.StretchedPairs != 0 {
+		t.Fatalf("stretch %v pairs %d", st.MeanStretch, st.StretchedPairs)
+	}
+	wantMean := float64(6*1+4*2+2*3) / 12
+	if st.MeanLength != wantMean {
+		t.Fatalf("mean %v, want %v", st.MeanLength, wantMean)
+	}
+}
+
+func TestStatsStretchDetected(t *testing.T) {
+	// On a ring, up*/down* must detour around the prohibited down->up turn
+	// at the "bottom" of the ring for some pairs.
+	cg := buildCG(t, topology.Ring(8), ctree.M1, nil)
+	tb := tableFor(t, cg, UpDown{})
+	st, err := tb.Stats(0, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StretchedPairs == 0 || st.MeanStretch <= 1.0 {
+		t.Fatalf("expected stretched pairs on a ring; got %d (stretch %v)",
+			st.StretchedPairs, st.MeanStretch)
+	}
+}
+
+func TestStatsDirUsage(t *testing.T) {
+	cg := randomCG(t, 5, 32, 4)
+	tb := tableFor(t, cg, LTurn{})
+	st, err := tb.Stats(500, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, u := range st.DirUsage {
+		total += u
+	}
+	if total == 0 {
+		t.Fatal("no direction usage sampled")
+	}
+	if len(st.DirUsage) != 6 || len(st.DirNames) != 6 {
+		t.Fatalf("L-turn scheme has 6 directions; got %d", len(st.DirUsage))
+	}
+	out := st.Format()
+	for _, want := range []string{"mean path length", "stretch", "histogram", "direction usage"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestStatsNegativeSamples(t *testing.T) {
+	cg := buildCG(t, topology.Line(3), ctree.M1, nil)
+	tb := tableFor(t, cg, UpDown{})
+	if _, err := tb.Stats(-1, rng.New(1)); err == nil {
+		t.Fatal("negative sample count accepted")
+	}
+}
+
+func TestStatsZeroSamplesSkipsDirUsage(t *testing.T) {
+	cg := buildCG(t, topology.Line(3), ctree.M1, nil)
+	tb := tableFor(t, cg, UpDown{})
+	st, err := tb.Stats(0, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range st.DirUsage {
+		if u != 0 {
+			t.Fatal("direction usage sampled despite zero samples")
+		}
+	}
+}

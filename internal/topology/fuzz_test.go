@@ -1,0 +1,38 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks the topology parser never panics and that everything it
+// accepts is valid and round-trips.
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	_ = Write(&buf, Petersen())
+	f.Add(buf.String())
+	f.Add("irnet-topology v1\nswitches 3\nlink 0 1\n")
+	f.Add("irnet-topology v1\nswitches 0\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := Read(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted invalid graph: %v", err)
+		}
+		var out bytes.Buffer
+		if err := Write(&out, g); err != nil {
+			t.Fatalf("rewrite failed: %v", err)
+		}
+		back, err := Read(&out)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.N() != g.N() || back.M() != g.M() {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}

@@ -1,0 +1,204 @@
+// Package topology models switch-based interconnection networks as
+// undirected graphs (Definition 1 of the paper) and provides generators for
+// the random irregular networks the paper evaluates on, plus a collection of
+// regular topologies used by tests and examples.
+//
+// A network is a graph G = (V, E): V is the set of switches, E the set of
+// bidirectional links. Each link (v1, v2) carries two unidirectional
+// communication channels <v1,v2> and <v2,v1>; the directed-channel view is
+// built by package cgraph on top of a Graph.
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected simple graph over switches 0..N-1. Neighbor lists
+// are kept sorted ascending, which the coordinated-tree construction
+// (paper §4.1, Step 4) relies on.
+type Graph struct {
+	n   int
+	adj [][]int
+	m   int // number of undirected edges
+}
+
+// New returns an empty graph with n switches and no links.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("topology: negative switch count")
+	}
+	return &Graph{n: n, adj: make([][]int, n)}
+}
+
+// N returns the number of switches.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of bidirectional links.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the number of links incident to v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns v's neighbor list in ascending order. The returned slice
+// is owned by the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// HasEdge reports whether a link between u and v exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	lst := g.adj[u]
+	i := sort.SearchInts(lst, v)
+	return i < len(lst) && lst[i] == v
+}
+
+// AddEdge inserts the link (u, v). It returns an error on self-loops,
+// out-of-range endpoints, or duplicate links.
+func (g *Graph) AddEdge(u, v int) error {
+	if u == v {
+		return fmt.Errorf("topology: self-loop at switch %d", u)
+	}
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("topology: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("topology: duplicate edge (%d,%d)", u, v)
+	}
+	g.insert(u, v)
+	g.insert(v, u)
+	g.m++
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error, for constructing fixed
+// topologies in tests and examples.
+func (g *Graph) MustAddEdge(u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+func (g *Graph) insert(u, v int) {
+	lst := g.adj[u]
+	i := sort.SearchInts(lst, v)
+	lst = append(lst, 0)
+	copy(lst[i+1:], lst[i:])
+	lst[i] = v
+	g.adj[u] = lst
+}
+
+// RemoveEdge deletes the link (u, v), returning an error if it does not
+// exist. Removing a link models a failure; callers typically re-check
+// Connected and rebuild the coordinated tree and routing afterwards —
+// irregular-network routing was born from exactly this reconfiguration
+// problem (Autonet).
+func (g *Graph) RemoveEdge(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n || !g.HasEdge(u, v) {
+		return fmt.Errorf("topology: no edge (%d,%d) to remove", u, v)
+	}
+	g.remove(u, v)
+	g.remove(v, u)
+	g.m--
+	return nil
+}
+
+func (g *Graph) remove(u, v int) {
+	lst := g.adj[u]
+	i := sort.SearchInts(lst, v)
+	copy(lst[i:], lst[i+1:])
+	g.adj[u] = lst[:len(lst)-1]
+}
+
+// Edge is an undirected link with From < To.
+type Edge struct{ From, To int }
+
+// Edges returns all links with From < To, sorted lexicographically.
+func (g *Graph) Edges() []Edge {
+	es := make([]Edge, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if u < v {
+				es = append(es, Edge{u, v})
+			}
+		}
+	}
+	return es
+}
+
+// Connected reports whether the graph is connected (vacuously true for
+// n <= 1).
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// MaxDegree returns the largest switch degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.n; v++ {
+		if d := len(g.adj[v]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	c.m = g.m
+	for v := range g.adj {
+		c.adj[v] = append([]int(nil), g.adj[v]...)
+	}
+	return c
+}
+
+// Validate checks internal invariants: sorted unique neighbor lists,
+// symmetry, no self-loops, and a consistent edge count. It is used by tests
+// and by generators as a final sanity check.
+func (g *Graph) Validate() error {
+	count := 0
+	for u := 0; u < g.n; u++ {
+		lst := g.adj[u]
+		for i, v := range lst {
+			if v == u {
+				return fmt.Errorf("self-loop at %d", u)
+			}
+			if v < 0 || v >= g.n {
+				return fmt.Errorf("neighbor %d of %d out of range", v, u)
+			}
+			if i > 0 && lst[i-1] >= v {
+				return fmt.Errorf("neighbor list of %d not sorted/unique", u)
+			}
+			if !g.HasEdge(v, u) {
+				return fmt.Errorf("asymmetric edge (%d,%d)", u, v)
+			}
+			count++
+		}
+	}
+	if count != 2*g.m {
+		return fmt.Errorf("edge count mismatch: %d half-edges, m=%d", count, g.m)
+	}
+	return nil
+}
+
+// String returns a compact human-readable description.
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph{switches=%d links=%d maxdeg=%d}", g.n, g.m, g.MaxDegree())
+}

@@ -1,0 +1,234 @@
+package topology
+
+import (
+	"testing"
+)
+
+func TestNewEmpty(t *testing.T) {
+	g := New(5)
+	if g.N() != 5 || g.M() != 0 {
+		t.Fatalf("New(5) = %v", g)
+	}
+	for v := 0; v < 5; v++ {
+		if g.Degree(v) != 0 {
+			t.Fatalf("degree of %d = %d", v, g.Degree(v))
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New(4)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge not symmetric")
+	}
+	if g.M() != 1 {
+		t.Fatalf("M = %d", g.M())
+	}
+	if err := g.AddEdge(0, 1); err == nil {
+		t.Fatal("duplicate edge accepted")
+	}
+	if err := g.AddEdge(1, 0); err == nil {
+		t.Fatal("reversed duplicate edge accepted")
+	}
+	if err := g.AddEdge(2, 2); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := g.AddEdge(-1, 0); err == nil {
+		t.Fatal("negative endpoint accepted")
+	}
+	if err := g.AddEdge(0, 4); err == nil {
+		t.Fatal("out-of-range endpoint accepted")
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New(6)
+	g.MustAddEdge(3, 5)
+	g.MustAddEdge(3, 0)
+	g.MustAddEdge(3, 2)
+	g.MustAddEdge(3, 4)
+	nb := g.Neighbors(3)
+	want := []int{0, 2, 4, 5}
+	if len(nb) != len(want) {
+		t.Fatalf("neighbors = %v", nb)
+	}
+	for i := range want {
+		if nb[i] != want[i] {
+			t.Fatalf("neighbors = %v, want %v", nb, want)
+		}
+	}
+}
+
+func TestEdgesList(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(2, 1)
+	g.MustAddEdge(0, 3)
+	g.MustAddEdge(0, 1)
+	es := g.Edges()
+	want := []Edge{{0, 1}, {0, 3}, {1, 2}}
+	if len(es) != len(want) {
+		t.Fatalf("edges = %v", es)
+	}
+	for i := range want {
+		if es[i] != want[i] {
+			t.Fatalf("edges = %v, want %v", es, want)
+		}
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(2, 3)
+	if g.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	g.MustAddEdge(1, 2)
+	if !g.Connected() {
+		t.Fatal("connected graph reported disconnected")
+	}
+	if !New(0).Connected() || !New(1).Connected() {
+		t.Fatal("trivial graphs must be connected")
+	}
+	if New(2).Connected() {
+		t.Fatal("two isolated switches reported connected")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := Ring(5)
+	c := g.Clone()
+	c.MustAddEdge(0, 2)
+	if g.HasEdge(0, 2) {
+		t.Fatal("Clone shares storage with original")
+	}
+	if c.M() != g.M()+1 {
+		t.Fatalf("clone M = %d", c.M())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegularTopologies(t *testing.T) {
+	cases := []struct {
+		name      string
+		g         *Graph
+		n, m, max int
+	}{
+		{"Ring(6)", Ring(6), 6, 6, 2},
+		{"Line(5)", Line(5), 5, 4, 2},
+		{"Star(7)", Star(7), 7, 6, 6},
+		{"Mesh2D(3,3)", Mesh2D(3, 3), 9, 12, 4},
+		{"Mesh2D(1,4)", Mesh2D(1, 4), 4, 3, 2},
+		{"Torus2D(4,4)", Torus2D(4, 4), 16, 32, 4},
+		{"Torus2D(2,3)", Torus2D(2, 3), 6, 9, 3},
+		{"Hypercube(3)", Hypercube(3), 8, 12, 3},
+		{"Hypercube(0)", Hypercube(0), 1, 0, 0},
+		{"CompleteBinaryTree(7)", CompleteBinaryTree(7), 7, 6, 3},
+		{"Complete(5)", Complete(5), 5, 10, 4},
+		{"Petersen", Petersen(), 10, 15, 3},
+		{"Figure1", Figure1(), 6, 7, 3},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if c.g.N() != c.n {
+				t.Errorf("N = %d, want %d", c.g.N(), c.n)
+			}
+			if c.g.M() != c.m {
+				t.Errorf("M = %d, want %d", c.g.M(), c.m)
+			}
+			if c.g.MaxDegree() != c.max {
+				t.Errorf("MaxDegree = %d, want %d", c.g.MaxDegree(), c.max)
+			}
+			if !c.g.Connected() {
+				t.Error("not connected")
+			}
+		})
+	}
+}
+
+func TestTorusRegularity(t *testing.T) {
+	g := Torus2D(5, 4)
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("torus switch %d degree %d, want 4", v, g.Degree(v))
+		}
+	}
+}
+
+func TestHypercubeStructure(t *testing.T) {
+	g := Hypercube(4)
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("hypercube switch %d degree %d", v, g.Degree(v))
+		}
+		for _, w := range g.Neighbors(v) {
+			x := v ^ w
+			if x&(x-1) != 0 {
+				t.Fatalf("edge (%d,%d) differs in more than one bit", v, w)
+			}
+		}
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := Ring(5)
+	if err := g.RemoveEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Fatal("edge still present")
+	}
+	if g.M() != 4 {
+		t.Fatalf("M = %d", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() {
+		t.Fatal("ring minus one edge should stay connected")
+	}
+	if err := g.RemoveEdge(0, 1); err == nil {
+		t.Fatal("double removal accepted")
+	}
+	if err := g.RemoveEdge(-1, 2); err == nil {
+		t.Fatal("out-of-range removal accepted")
+	}
+	// Removing a second edge can disconnect.
+	if err := g.RemoveEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if g.Connected() {
+		t.Fatal("ring minus two edges reported connected")
+	}
+}
+
+func TestRemoveEdgeRestoresAddEdge(t *testing.T) {
+	g := Petersen()
+	before := g.Edges()
+	if err := g.RemoveEdge(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	after := g.Edges()
+	if len(before) != len(after) {
+		t.Fatal("edge count changed")
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("edge list changed after remove+add")
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file implements a small line-oriented text format for network
+// topologies, so generated networks can be saved, inspected, diffed, and
+// fed between the CLI tools:
+//
+//	irnet-topology v1
+//	# optional comments
+//	switches 128
+//	link 0 1
+//	link 0 17
+//	...
+//
+// Links may appear in any order and either orientation; duplicates are
+// rejected. Blank lines and '#' comments are ignored.
+
+const ioHeader = "irnet-topology v1"
+
+// Write serializes g in the text format, links sorted canonically.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, ioHeader); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "switches %d\n", g.N()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "link %d %d\n", e.From, e.To); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a topology in the text format and validates it.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			lineNo++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			return line, true
+		}
+		return "", false
+	}
+
+	line, ok := next()
+	if !ok || line != ioHeader {
+		return nil, fmt.Errorf("topology: line %d: missing header %q", lineNo, ioHeader)
+	}
+	line, ok = next()
+	if !ok {
+		return nil, fmt.Errorf("topology: missing 'switches' line")
+	}
+	var n int
+	if _, err := fmt.Sscanf(line, "switches %d", &n); err != nil {
+		return nil, fmt.Errorf("topology: line %d: %q is not a switches line", lineNo, line)
+	}
+	if n < 0 || n > 1<<20 {
+		return nil, fmt.Errorf("topology: implausible switch count %d", n)
+	}
+	g := New(n)
+	for {
+		line, ok = next()
+		if !ok {
+			break
+		}
+		var u, v int
+		if _, err := fmt.Sscanf(line, "link %d %d", &u, &v); err != nil {
+			return nil, fmt.Errorf("topology: line %d: %q is not a link line", lineNo, line)
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			return nil, fmt.Errorf("topology: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,102 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestIORoundTrip(t *testing.T) {
+	g, err := RandomIrregular(IrregularConfig{Switches: 40, Ports: 5}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != g.N() || back.M() != g.M() {
+		t.Fatalf("round trip changed shape: %v vs %v", back, g)
+	}
+	ea, eb := g.Edges(), back.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestIOCommentsAndBlanks(t *testing.T) {
+	src := `irnet-topology v1
+
+# a comment
+switches 3
+link 0 1
+# another
+link 1 2
+`
+	g, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("parsed %v", g)
+	}
+}
+
+func TestIOWriteDeterministic(t *testing.T) {
+	g := Petersen()
+	var a, b bytes.Buffer
+	if err := Write(&a, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("Write not deterministic")
+	}
+	if !strings.HasPrefix(a.String(), "irnet-topology v1\nswitches 10\n") {
+		t.Fatalf("unexpected prefix: %q", a.String()[:40])
+	}
+}
+
+func TestIOReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing header":   "switches 3\nlink 0 1\n",
+		"wrong header":     "irnet-topology v9\nswitches 3\n",
+		"missing switches": "irnet-topology v1\nlink 0 1\n",
+		"bad count":        "irnet-topology v1\nswitches -2\n",
+		"huge count":       "irnet-topology v1\nswitches 99999999\n",
+		"garbage line":     "irnet-topology v1\nswitches 3\nedge 0 1\n",
+		"self loop":        "irnet-topology v1\nswitches 3\nlink 1 1\n",
+		"out of range":     "irnet-topology v1\nswitches 3\nlink 0 7\n",
+		"duplicate":        "irnet-topology v1\nswitches 3\nlink 0 1\nlink 1 0\n",
+		"empty":            "",
+	}
+	for name, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestIOEmptyGraph(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, New(5)); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 5 || g.M() != 0 {
+		t.Fatalf("parsed %v", g)
+	}
+}

@@ -1,0 +1,171 @@
+package topology
+
+import "fmt"
+
+// This file provides regular topologies. The paper evaluates only on random
+// irregular networks, but fixed topologies are invaluable for tests (known
+// structure, hand-checkable trees and directions) and for examples: the
+// routing algorithms apply to arbitrary topologies (paper §1: "can be
+// directly applied to arbitrary topology").
+
+// Ring returns a cycle of n switches (n >= 3).
+func Ring(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("topology: Ring requires n >= 3, got %d", n))
+	}
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+// Line returns a path of n switches.
+func Line(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	return g
+}
+
+// Star returns a star with switch 0 at the center and n-1 leaves.
+func Star(n int) *Graph {
+	if n < 1 {
+		panic("topology: Star requires n >= 1")
+	}
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(0, i)
+	}
+	return g
+}
+
+// Mesh2D returns a w-by-h 2D mesh. Switch (x, y) has index y*w + x.
+func Mesh2D(w, h int) *Graph {
+	if w < 1 || h < 1 {
+		panic("topology: Mesh2D requires positive dimensions")
+	}
+	g := New(w * h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := y*w + x
+			if x+1 < w {
+				g.MustAddEdge(v, v+1)
+			}
+			if y+1 < h {
+				g.MustAddEdge(v, v+w)
+			}
+		}
+	}
+	return g
+}
+
+// Torus2D returns a w-by-h 2D torus (wraparound mesh). Dimensions of size
+// 1 or 2 skip the wrap link that would duplicate an existing link.
+func Torus2D(w, h int) *Graph {
+	if w < 1 || h < 1 {
+		panic("topology: Torus2D requires positive dimensions")
+	}
+	g := Mesh2D(w, h)
+	for y := 0; y < h && w > 2; y++ {
+		g.MustAddEdge(y*w, y*w+w-1)
+	}
+	for x := 0; x < w && h > 2; x++ {
+		g.MustAddEdge(x, (h-1)*w+x)
+	}
+	return g
+}
+
+// Hypercube returns a d-dimensional hypercube with 2^d switches.
+func Hypercube(d int) *Graph {
+	if d < 0 || d > 20 {
+		panic("topology: Hypercube dimension out of range")
+	}
+	n := 1 << uint(d)
+	g := New(n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < d; b++ {
+			w := v ^ (1 << uint(b))
+			if v < w {
+				g.MustAddEdge(v, w)
+			}
+		}
+	}
+	return g
+}
+
+// CompleteBinaryTree returns a complete binary tree with n switches,
+// children of i at 2i+1 and 2i+2.
+func CompleteBinaryTree(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		if l := 2*i + 1; l < n {
+			g.MustAddEdge(i, l)
+		}
+		if r := 2*i + 2; r < n {
+			g.MustAddEdge(i, r)
+		}
+	}
+	return g
+}
+
+// Complete returns the complete graph on n switches.
+func Complete(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.MustAddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// Petersen returns the Petersen graph (10 switches, 3-regular), a classic
+// irregular-feeling test topology with many cross links under any spanning
+// tree.
+func Petersen() *Graph {
+	g := New(10)
+	for i := 0; i < 5; i++ {
+		g.MustAddEdge(i, (i+1)%5)     // outer pentagon
+		g.MustAddEdge(5+i, 5+(i+2)%5) // inner pentagram
+		g.MustAddEdge(i, 5+i)         // spokes
+	}
+	return g
+}
+
+// Figure1 returns a 6-switch network consistent with the paper's Figure 1(b),
+// used by unit tests that replay the worked example for Definitions 1-11.
+// Switches v1..v6 map to ids 0..5.
+//
+// The figure itself is not machine-readable, but the text pins it down:
+//
+//   - Y(v1) = 0 (v1 is the root) and X(v2) = 2, so the preorder order starts
+//     v1, v5, v2 (X counted from 0) and v2 is a child of v5 — confirmed by
+//     d(<v5,v2>) = RD_TREE.
+//   - v3 is the right node of v5, the left node of v4, and the right-down
+//     node of v1: v5, v3, v4 share level 1 with X(v5) < X(v3) < X(v4), and
+//     all three are children of v1.
+//   - d(<v2,v4>) = RU_CROSS: (v2,v4) is a cross link, X(v4) > X(v2),
+//     Y(v4) < Y(v2).
+//   - The turn cycle over <v5,v1>, <v1,v3>, <v3,v5> requires the triangle
+//     v1-v3-v5 with (v3,v5) a cross link.
+//   - v6 completes the 6-switch network as a child of v3.
+//
+// The coordinated tree of the figure (root v1; children of v1 in preorder
+// order v5, v3, v4; v2 under v5; v6 under v3) is built explicitly by the
+// tests via ctree.FromParents, since the figure's tree is *a* coordinated
+// tree, not the M1 tree of this topology.
+func Figure1() *Graph {
+	g := New(6)
+	// Tree links of the coordinated tree in Figure 1(c):
+	g.MustAddEdge(0, 4) // v1-v5
+	g.MustAddEdge(0, 2) // v1-v3
+	g.MustAddEdge(0, 3) // v1-v4
+	g.MustAddEdge(1, 4) // v5-v2
+	g.MustAddEdge(2, 5) // v3-v6
+	// Cross links:
+	g.MustAddEdge(1, 3) // v2-v4
+	g.MustAddEdge(2, 4) // v3-v5
+	return g
+}

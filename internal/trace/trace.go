@@ -1,0 +1,161 @@
+// Package trace parses and summarizes the per-packet CSV traces the
+// simulator emits (wormsim.Config.Trace): one record per delivered packet
+// with creation, injection, and delivery timestamps plus hop count. The
+// summaries answer the questions raw Result aggregates cannot — how latency
+// decomposes into queueing and network time, how it correlates with path
+// length, and what the slowest packets have in common.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record is one delivered packet.
+type Record struct {
+	Pkt       int
+	Src, Dst  int
+	Created   int
+	Injected  int
+	Delivered int
+	Hops      int
+}
+
+// Latency is the paper's message latency: creation to delivery.
+func (r Record) Latency() int { return r.Delivered - r.Created }
+
+// QueueTime is the source-queueing component: creation to injection.
+func (r Record) QueueTime() int { return r.Injected - r.Created }
+
+// NetworkTime is the in-network component: injection to delivery.
+func (r Record) NetworkTime() int { return r.Delivered - r.Injected }
+
+// Header is the exact first line the simulator writes.
+const Header = "pkt,src,dst,created,injected,delivered,hops"
+
+// Parse reads a trace stream. It validates the header and every field, and
+// rejects records with inconsistent timestamps.
+func Parse(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	if got := strings.TrimSpace(sc.Text()); got != Header {
+		return nil, fmt.Errorf("trace: bad header %q", got)
+	}
+	var out []Record
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 7 {
+			return nil, fmt.Errorf("trace: line %d has %d fields", line, len(fields))
+		}
+		var vals [7]int
+		for i, f := range fields {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d field %d: %w", line, i, err)
+			}
+			vals[i] = v
+		}
+		rec := Record{
+			Pkt: vals[0], Src: vals[1], Dst: vals[2],
+			Created: vals[3], Injected: vals[4], Delivered: vals[5], Hops: vals[6],
+		}
+		if rec.Injected < rec.Created || rec.Delivered < rec.Injected || rec.Hops < 0 {
+			return nil, fmt.Errorf("trace: line %d has inconsistent timestamps %+v", line, rec)
+		}
+		out = append(out, rec)
+	}
+	return out, sc.Err()
+}
+
+// Summary aggregates a trace.
+type Summary struct {
+	Packets       int
+	MeanLatency   float64
+	MeanQueueTime float64
+	MeanNetTime   float64
+	MeanHops      float64
+	P50, P95, P99 int
+	MaxLatency    int
+	SlowestSrc    int
+	SlowestDst    int
+	// HopLatency[h] is the mean latency of packets that took h hops
+	// (entries with no packets are zero).
+	HopLatency []float64
+}
+
+// Summarize computes the summary; it returns an error on an empty trace.
+func Summarize(recs []Record) (*Summary, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("trace: no records")
+	}
+	s := &Summary{Packets: len(recs)}
+	lats := make([]int, len(recs))
+	maxHops := 0
+	for i, r := range recs {
+		lat := r.Latency()
+		lats[i] = lat
+		s.MeanLatency += float64(lat)
+		s.MeanQueueTime += float64(r.QueueTime())
+		s.MeanNetTime += float64(r.NetworkTime())
+		s.MeanHops += float64(r.Hops)
+		if lat > s.MaxLatency {
+			s.MaxLatency = lat
+			s.SlowestSrc, s.SlowestDst = r.Src, r.Dst
+		}
+		if r.Hops > maxHops {
+			maxHops = r.Hops
+		}
+	}
+	n := float64(len(recs))
+	s.MeanLatency /= n
+	s.MeanQueueTime /= n
+	s.MeanNetTime /= n
+	s.MeanHops /= n
+	sort.Ints(lats)
+	pct := func(p float64) int { return lats[int(p*float64(len(lats)-1))] }
+	s.P50, s.P95, s.P99 = pct(0.50), pct(0.95), pct(0.99)
+
+	s.HopLatency = make([]float64, maxHops+1)
+	counts := make([]int, maxHops+1)
+	for _, r := range recs {
+		s.HopLatency[r.Hops] += float64(r.Latency())
+		counts[r.Hops]++
+	}
+	for h := range s.HopLatency {
+		if counts[h] > 0 {
+			s.HopLatency[h] /= float64(counts[h])
+		}
+	}
+	return s, nil
+}
+
+// Format renders the summary as text.
+func (s *Summary) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "packets        %d\n", s.Packets)
+	fmt.Fprintf(&b, "latency        mean %.1f, p50 %d, p95 %d, p99 %d, max %d (slowest %d->%d)\n",
+		s.MeanLatency, s.P50, s.P95, s.P99, s.MaxLatency, s.SlowestSrc, s.SlowestDst)
+	fmt.Fprintf(&b, "decomposition  queue %.1f + network %.1f clocks\n", s.MeanQueueTime, s.MeanNetTime)
+	fmt.Fprintf(&b, "mean hops      %.2f\n", s.MeanHops)
+	b.WriteString("latency by hops")
+	for h, l := range s.HopLatency {
+		if l > 0 {
+			fmt.Fprintf(&b, "  %d:%.0f", h, l)
+		}
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cgraph"
+	"repro/internal/core"
+	"repro/internal/ctree"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/wormsim"
+)
+
+func TestParseHandWritten(t *testing.T) {
+	src := Header + `
+1,0,3,10,12,40,2
+2,3,0,11,11,52,3
+
+5,1,2,20,25,60,1
+`
+	recs, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("%d records", len(recs))
+	}
+	r := recs[0]
+	if r.Latency() != 30 || r.QueueTime() != 2 || r.NetworkTime() != 28 {
+		t.Fatalf("record decomposition wrong: %+v", r)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"bad header":      "a,b,c\n",
+		"wrong fields":    Header + "\n1,2,3\n",
+		"non-numeric":     Header + "\n1,2,3,x,5,6,7\n",
+		"injected<create": Header + "\n1,0,1,10,5,20,1\n",
+		"deliver<inject":  Header + "\n1,0,1,10,12,11,1\n",
+		"negative hops":   Header + "\n1,0,1,10,12,20,-1\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Fatal("empty trace summarized")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	recs := []Record{
+		{Pkt: 1, Src: 0, Dst: 1, Created: 0, Injected: 0, Delivered: 10, Hops: 1},
+		{Pkt: 2, Src: 0, Dst: 2, Created: 0, Injected: 5, Delivered: 30, Hops: 2},
+		{Pkt: 3, Src: 1, Dst: 2, Created: 0, Injected: 0, Delivered: 20, Hops: 1},
+	}
+	s, err := Summarize(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Packets != 3 || s.MeanLatency != 20 || s.MaxLatency != 30 {
+		t.Fatalf("%+v", s)
+	}
+	if s.SlowestSrc != 0 || s.SlowestDst != 2 {
+		t.Fatalf("slowest pair wrong: %+v", s)
+	}
+	if s.HopLatency[1] != 15 || s.HopLatency[2] != 30 {
+		t.Fatalf("hop latency %v", s.HopLatency)
+	}
+	out := s.Format()
+	for _, want := range []string{"packets", "decomposition", "latency by hops"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q", want)
+		}
+	}
+}
+
+// TestRoundTripWithSimulator: a real simulator trace parses cleanly and its
+// summary agrees with the simulator's own aggregates.
+func TestRoundTripWithSimulator(t *testing.T) {
+	g, err := topology.RandomIrregular(topology.IrregularConfig{Switches: 24, Ports: 4}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ctree.Build(g, ctree.M1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := cgraph.Build(tr)
+	fn, err := core.DownUp{}.Build(cg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := routing.NewTable(fn)
+	var sb strings.Builder
+	sim, err := wormsim.New(fn, tb, wormsim.Config{
+		PacketLength:  16,
+		InjectionRate: 0.1,
+		WarmupCycles:  500,
+		MeasureCycles: 4000,
+		Seed:          9,
+		Trace:         &sb,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != res.PacketsDelivered {
+		t.Fatalf("%d records for %d delivered packets", len(recs), res.PacketsDelivered)
+	}
+	s, err := Summarize(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := s.MeanLatency - res.AvgLatency; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("trace mean %.4f != result mean %.4f", s.MeanLatency, res.AvgLatency)
+	}
+	if s.P95 != res.P95Latency || s.P50 != res.P50Latency {
+		t.Fatalf("trace percentiles (%d,%d) != result (%d,%d)",
+			s.P50, s.P95, res.P50Latency, res.P95Latency)
+	}
+	if s.MaxLatency != res.MaxLatency {
+		t.Fatalf("trace max %d != result max %d", s.MaxLatency, res.MaxLatency)
+	}
+}

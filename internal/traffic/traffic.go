@@ -1,0 +1,249 @@
+// Package traffic generates the workloads the simulator drives: destination
+// patterns (the paper evaluates uniform traffic; hotspot, permutation, and
+// bit-reversal patterns are provided for the examples and extensions) and
+// the Bernoulli packet-injection process that realizes a target injection
+// rate in flits per clock per node.
+package traffic
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Pattern chooses a destination switch for each generated packet.
+type Pattern interface {
+	// Name identifies the pattern in reports.
+	Name() string
+	// Dest returns a destination for a packet sourced at src, never equal
+	// to src. It may consume randomness from r.
+	Dest(src int, r *rng.Rng) int
+}
+
+// Uniform sends each packet to a destination chosen uniformly among all
+// other switches — the paper's traffic pattern ("A uniform traffic pattern
+// is assumed").
+type Uniform struct {
+	// N is the number of switches.
+	N int
+}
+
+// Name implements Pattern.
+func (u Uniform) Name() string { return "uniform" }
+
+// Dest implements Pattern.
+func (u Uniform) Dest(src int, r *rng.Rng) int {
+	if u.N < 2 {
+		panic("traffic: Uniform requires at least 2 switches")
+	}
+	d := r.Intn(u.N - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// Hotspot sends a fraction of packets to one of a small set of hot
+// switches and the rest uniformly — the classic hot-spot workload of
+// Pfister and Norton that the paper's hot-spot metric is named after.
+type Hotspot struct {
+	// N is the number of switches.
+	N int
+	// Spots are the hot destinations.
+	Spots []int
+	// Fraction in [0,1] is the probability a packet targets a hot spot.
+	Fraction float64
+}
+
+// Name implements Pattern.
+func (h Hotspot) Name() string { return "hotspot" }
+
+// Dest implements Pattern.
+func (h Hotspot) Dest(src int, r *rng.Rng) int {
+	if len(h.Spots) > 0 && r.Bernoulli(h.Fraction) {
+		d := h.Spots[r.Intn(len(h.Spots))]
+		if d != src {
+			return d
+		}
+	}
+	return Uniform{N: h.N}.Dest(src, r)
+}
+
+// Permutation sends every packet from src to a fixed partner perm[src],
+// a standard adversarial pattern for adaptive routing studies.
+type Permutation struct {
+	perm []int
+}
+
+// NewPermutation derives a random fixed-point-free permutation of n nodes.
+func NewPermutation(n int, r *rng.Rng) (*Permutation, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("traffic: permutation needs n >= 2")
+	}
+	p := r.Perm(n)
+	// Repair fixed points by swapping with a neighbor (cyclically), which
+	// preserves permutation-ness.
+	for i := 0; i < n; i++ {
+		if p[i] == i {
+			j := (i + 1) % n
+			p[i], p[j] = p[j], p[i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		if p[i] == i {
+			return nil, fmt.Errorf("traffic: failed to remove fixed point at %d", i)
+		}
+	}
+	return &Permutation{perm: p}, nil
+}
+
+// Name implements Pattern.
+func (p *Permutation) Name() string { return "permutation" }
+
+// Dest implements Pattern.
+func (p *Permutation) Dest(src int, _ *rng.Rng) int { return p.perm[src] }
+
+// Partner returns the fixed destination of src (for tests).
+func (p *Permutation) Partner(src int) int { return p.perm[src] }
+
+// BitReverse sends src to the bit-reversal of its index; N must be a power
+// of two. Sources whose reversal equals themselves fall back to uniform.
+type BitReverse struct {
+	// N is the number of switches, a power of two.
+	N int
+}
+
+// Name implements Pattern.
+func (b BitReverse) Name() string { return "bitreverse" }
+
+// Dest implements Pattern.
+func (b BitReverse) Dest(src int, r *rng.Rng) int {
+	if b.N < 2 || b.N&(b.N-1) != 0 {
+		panic("traffic: BitReverse requires a power-of-two switch count")
+	}
+	bits := 0
+	for 1<<uint(bits) < b.N {
+		bits++
+	}
+	d := 0
+	for i := 0; i < bits; i++ {
+		if src&(1<<uint(i)) != 0 {
+			d |= 1 << uint(bits-1-i)
+		}
+	}
+	if d == src {
+		return Uniform{N: b.N}.Dest(src, r)
+	}
+	return d
+}
+
+// Generator produces packets clock by clock: Tick returns a destination
+// and true when a new packet starts this clock. Source (Bernoulli) and
+// BurstySource (ON/OFF) implement it.
+type Generator interface {
+	Tick() (dst int, ok bool)
+}
+
+// Source is the Bernoulli packet generator attached to one switch: each
+// clock it starts a new packet with probability rate/packetLen, so the
+// offered load is rate flits per clock.
+type Source struct {
+	node      int
+	pPacket   float64
+	packetLen int
+	pattern   Pattern
+	r         *rng.Rng
+}
+
+// NewSource builds a source for node with the given offered load in
+// flits/clock (rate), packet length in flits, destination pattern, and a
+// private random stream.
+func NewSource(node int, rate float64, packetLen int, pattern Pattern, r *rng.Rng) (*Source, error) {
+	if packetLen < 1 {
+		return nil, fmt.Errorf("traffic: packet length %d < 1", packetLen)
+	}
+	if rate < 0 {
+		return nil, fmt.Errorf("traffic: negative injection rate %v", rate)
+	}
+	p := rate / float64(packetLen)
+	if p > 1 {
+		return nil, fmt.Errorf("traffic: rate %v flits/clock exceeds 1 packet/clock at length %d", rate, packetLen)
+	}
+	return &Source{node: node, pPacket: p, packetLen: packetLen, pattern: pattern, r: r}, nil
+}
+
+// Tick returns (dst, true) if a new packet is generated this clock.
+func (s *Source) Tick() (int, bool) {
+	if !s.r.Bernoulli(s.pPacket) {
+		return 0, false
+	}
+	return s.pattern.Dest(s.node, s.r), true
+}
+
+var _ Generator = (*Source)(nil)
+
+// BurstySource is a two-state ON/OFF (interrupted Bernoulli) packet
+// generator: in the ON state it emits packets back to back (one every
+// packetLen clocks); in the OFF state it is silent. State dwell times are
+// geometric, sized so that the mean burst is meanBurst packets and the
+// long-run offered load equals rate flits/clock. Bursty arrivals at the
+// same average rate stress wormhole backpressure much harder than
+// Bernoulli arrivals — the standard traffic-realism knob.
+type BurstySource struct {
+	node      int
+	packetLen int
+	pattern   Pattern
+	r         *rng.Rng
+	pOnToOff  float64
+	pOffToOn  float64
+	on        bool
+	cooldown  int // clocks until the current packet finishes serializing
+}
+
+// NewBurstySource builds an ON/OFF source with the given long-run rate in
+// flits/clock (must be in (0, 1)) and mean burst length in packets.
+func NewBurstySource(node int, rate float64, meanBurst int, packetLen int, pattern Pattern, r *rng.Rng) (*BurstySource, error) {
+	if packetLen < 1 {
+		return nil, fmt.Errorf("traffic: packet length %d < 1", packetLen)
+	}
+	if rate <= 0 || rate >= 1 {
+		return nil, fmt.Errorf("traffic: bursty rate %v outside (0, 1)", rate)
+	}
+	if meanBurst < 1 {
+		return nil, fmt.Errorf("traffic: mean burst %d < 1 packet", meanBurst)
+	}
+	meanOn := float64(meanBurst * packetLen) // clocks
+	meanOff := meanOn * (1 - rate) / rate    // duty cycle = rate
+	return &BurstySource{
+		node:      node,
+		packetLen: packetLen,
+		pattern:   pattern,
+		r:         r,
+		pOnToOff:  1 / meanOn,
+		pOffToOn:  1 / meanOff,
+	}, nil
+}
+
+// Tick implements Generator.
+func (s *BurstySource) Tick() (int, bool) {
+	if s.on {
+		if s.r.Bernoulli(s.pOnToOff) {
+			s.on = false
+		}
+	} else if s.r.Bernoulli(s.pOffToOn) {
+		s.on = true
+	}
+	if !s.on {
+		return 0, false
+	}
+	// The serialization cooldown only elapses while ON, so the duty cycle
+	// converts exactly into the flit rate.
+	if s.cooldown > 0 {
+		s.cooldown--
+		return 0, false
+	}
+	s.cooldown = s.packetLen - 1 // back-to-back packets while ON
+	return s.pattern.Dest(s.node, s.r), true
+}
+
+var _ Generator = (*BurstySource)(nil)

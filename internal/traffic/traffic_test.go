@@ -1,0 +1,297 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestUniformNeverSelf(t *testing.T) {
+	u := Uniform{N: 10}
+	r := rng.New(1)
+	for i := 0; i < 5000; i++ {
+		src := r.Intn(10)
+		if u.Dest(src, r) == src {
+			t.Fatal("uniform pattern returned the source")
+		}
+	}
+}
+
+func TestUniformCoversAll(t *testing.T) {
+	u := Uniform{N: 6}
+	r := rng.New(2)
+	counts := make([]int, 6)
+	const draws = 60000
+	for i := 0; i < draws; i++ {
+		counts[u.Dest(0, r)]++
+	}
+	if counts[0] != 0 {
+		t.Fatal("destination 0 chosen for source 0")
+	}
+	want := float64(draws) / 5
+	for d := 1; d < 6; d++ {
+		if math.Abs(float64(counts[d])-want) > 5*math.Sqrt(want) {
+			t.Fatalf("destination %d count %d too far from %.0f", d, counts[d], want)
+		}
+	}
+}
+
+func TestUniformPanicsOnTinyNetwork(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Uniform{N: 1}.Dest(0, rng.New(1))
+}
+
+func TestHotspotBias(t *testing.T) {
+	h := Hotspot{N: 20, Spots: []int{3}, Fraction: 0.5}
+	r := rng.New(3)
+	hot := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		if h.Dest(0, r) == 3 {
+			hot++
+		}
+	}
+	// Expect about 0.5 + 0.5/19 of traffic at the hot spot.
+	want := 0.5 + 0.5/19.0
+	got := float64(hot) / draws
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("hot fraction %.3f, want about %.3f", got, want)
+	}
+	// Packets from the hot spot itself still avoid self-delivery.
+	for i := 0; i < 2000; i++ {
+		if h.Dest(3, r) == 3 {
+			t.Fatal("hotspot pattern returned the source")
+		}
+	}
+}
+
+func TestHotspotZeroFractionIsUniform(t *testing.T) {
+	h := Hotspot{N: 8, Spots: []int{1}, Fraction: 0}
+	r := rng.New(4)
+	counts := make([]int, 8)
+	for i := 0; i < 14000; i++ {
+		counts[h.Dest(0, r)]++
+	}
+	for d := 1; d < 8; d++ {
+		if counts[d] < 1400 {
+			t.Fatalf("destination %d starved: %d", d, counts[d])
+		}
+	}
+}
+
+func TestPermutationProperties(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 2
+		p, err := NewPermutation(n, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, n)
+		for src := 0; src < n; src++ {
+			d := p.Dest(src, nil)
+			if d == src || d < 0 || d >= n || seen[d] {
+				return false
+			}
+			seen[d] = true
+			if p.Partner(src) != d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermutationRejectsTiny(t *testing.T) {
+	if _, err := NewPermutation(1, rng.New(1)); err == nil {
+		t.Fatal("n=1 permutation accepted")
+	}
+}
+
+func TestBitReverse(t *testing.T) {
+	b := BitReverse{N: 8}
+	r := rng.New(5)
+	// 3 bits: 1 (001) -> 4 (100); 3 (011) -> 6 (110); 6 -> 3.
+	if d := b.Dest(1, r); d != 4 {
+		t.Fatalf("Dest(1) = %d, want 4", d)
+	}
+	if d := b.Dest(3, r); d != 6 {
+		t.Fatalf("Dest(3) = %d, want 6", d)
+	}
+	// Palindromic indices fall back to uniform, never self.
+	for i := 0; i < 1000; i++ {
+		if d := b.Dest(0, r); d == 0 {
+			t.Fatal("bit-reverse returned source for palindromic index")
+		}
+	}
+}
+
+func TestBitReversePanicsOnNonPower(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	BitReverse{N: 6}.Dest(1, rng.New(1))
+}
+
+func TestSourceRate(t *testing.T) {
+	const rate, plen, ticks = 0.25, 5, 200000
+	s, err := NewSource(0, rate, plen, Uniform{N: 4}, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	packets := 0
+	for i := 0; i < ticks; i++ {
+		if _, ok := s.Tick(); ok {
+			packets++
+		}
+	}
+	gotRate := float64(packets) * plen / ticks
+	if math.Abs(gotRate-rate) > 0.01 {
+		t.Fatalf("offered rate %.4f, want %.2f", gotRate, rate)
+	}
+}
+
+func TestSourceValidation(t *testing.T) {
+	if _, err := NewSource(0, -1, 8, Uniform{N: 4}, rng.New(1)); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := NewSource(0, 0.5, 0, Uniform{N: 4}, rng.New(1)); err == nil {
+		t.Fatal("zero packet length accepted")
+	}
+	if _, err := NewSource(0, 10, 4, Uniform{N: 4}, rng.New(1)); err == nil {
+		t.Fatal("rate above 1 packet/clock accepted")
+	}
+}
+
+func TestSourceZeroRate(t *testing.T) {
+	s, err := NewSource(0, 0, 8, Uniform{N: 4}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if _, ok := s.Tick(); ok {
+			t.Fatal("zero-rate source generated a packet")
+		}
+	}
+}
+
+func TestPatternNames(t *testing.T) {
+	if (Uniform{}).Name() != "uniform" {
+		t.Fatal("uniform name")
+	}
+	if (Hotspot{}).Name() != "hotspot" {
+		t.Fatal("hotspot name")
+	}
+	p, _ := NewPermutation(4, rng.New(1))
+	if p.Name() != "permutation" {
+		t.Fatal("permutation name")
+	}
+	if (BitReverse{}).Name() != "bitreverse" {
+		t.Fatal("bitreverse name")
+	}
+}
+
+func TestBurstySourceRate(t *testing.T) {
+	const rate, plen, ticks = 0.3, 8, 400000
+	s, err := NewBurstySource(0, rate, 4, plen, Uniform{N: 4}, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	packets := 0
+	for i := 0; i < ticks; i++ {
+		if _, ok := s.Tick(); ok {
+			packets++
+		}
+	}
+	got := float64(packets) * plen / ticks
+	if math.Abs(got-rate) > 0.03 {
+		t.Fatalf("bursty offered rate %.4f, want about %.2f", got, rate)
+	}
+}
+
+func TestBurstySourceIsBurstier(t *testing.T) {
+	// Compare inter-packet gap variance against a Bernoulli source at the
+	// same rate: the ON/OFF source must have clearly higher variance.
+	const rate, plen, ticks = 0.2, 8, 300000
+	gapsOf := func(g Generator) []float64 {
+		var gaps []float64
+		last := -1
+		for i := 0; i < ticks; i++ {
+			if _, ok := g.Tick(); ok {
+				if last >= 0 {
+					gaps = append(gaps, float64(i-last))
+				}
+				last = i
+			}
+		}
+		return gaps
+	}
+	variance := func(xs []float64) float64 {
+		mu := 0.0
+		for _, x := range xs {
+			mu += x
+		}
+		mu /= float64(len(xs))
+		ss := 0.0
+		for _, x := range xs {
+			ss += (x - mu) * (x - mu)
+		}
+		return ss / float64(len(xs))
+	}
+	bern, err := NewSource(0, rate, plen, Uniform{N: 4}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst, err := NewBurstySource(0, rate, 8, plen, Uniform{N: 4}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, vu := variance(gapsOf(burst)), variance(gapsOf(bern))
+	if vb < vu*1.5 {
+		t.Fatalf("bursty gap variance %.1f not clearly above Bernoulli %.1f", vb, vu)
+	}
+}
+
+func TestBurstySourceValidation(t *testing.T) {
+	if _, err := NewBurstySource(0, 0, 4, 8, Uniform{N: 4}, rng.New(1)); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := NewBurstySource(0, 1.0, 4, 8, Uniform{N: 4}, rng.New(1)); err == nil {
+		t.Fatal("rate 1.0 accepted")
+	}
+	if _, err := NewBurstySource(0, 0.5, 0, 8, Uniform{N: 4}, rng.New(1)); err == nil {
+		t.Fatal("zero burst accepted")
+	}
+	if _, err := NewBurstySource(0, 0.5, 4, 0, Uniform{N: 4}, rng.New(1)); err == nil {
+		t.Fatal("zero packet length accepted")
+	}
+}
+
+func TestBurstySourceNeverOverlapsPackets(t *testing.T) {
+	// Packets serialize at 1 flit/clock, so starts must be at least plen
+	// clocks apart.
+	const plen = 8
+	s, err := NewBurstySource(0, 0.6, 4, plen, Uniform{N: 4}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := -plen
+	for i := 0; i < 100000; i++ {
+		if _, ok := s.Tick(); ok {
+			if i-last < plen {
+				t.Fatalf("packets %d clocks apart (min %d)", i-last, plen)
+			}
+			last = i
+		}
+	}
+}

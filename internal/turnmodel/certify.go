@@ -1,0 +1,328 @@
+package turnmodel
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cgraph"
+)
+
+// This file implements a small certificate checker for TOPOLOGY-INDEPENDENT
+// deadlock freedom. The channel-level check in System proves a turn
+// configuration safe for one communication graph; the certifier proves a
+// uniform configuration safe for EVERY communication graph, by mechanizing
+// the monotonicity argument the paper gestures at:
+//
+//  1. A turn cycle's directions form a closed walk in the direction graph,
+//     so they lie inside one strongly connected component of the
+//     allowed-turn DDG.
+//  2. If every direction of an SCC moves some node measure (tree level,
+//     preorder rank, ...) in the same weak sense (all >= 0 or all <= 0),
+//     then around a cycle the measure's deltas sum to zero, forcing every
+//     move onto the measure's zero set — so any cycle lives entirely among
+//     the SCC's zero-delta directions, and the argument recurses on them.
+//  3. A cycle over a single direction is impossible whenever that direction
+//     strictly changes some measure.
+//
+// Soundness rests only on the per-direction delta signs, and those are not
+// trusted: ValidateMeasures checks the declared signs against the concrete
+// channels of any communication graph, and the certifier's tests validate
+// them across topology families (including DFS trees, where levels behave
+// differently). Completeness is not claimed — a configuration can be safe
+// on every real CG yet uncertifiable — but every built-in algorithm's base
+// configuration certifies.
+
+// Sign is the declared sense in which a direction changes a measure.
+type Sign int8
+
+// Sign values.
+const (
+	Neg  Sign = -1
+	Zero Sign = 0
+	Pos  Sign = 1
+)
+
+// Measure is a node function together with the declared per-direction sign
+// of its change along a channel, and a concrete evaluator used to validate
+// the declaration on real communication graphs.
+type Measure struct {
+	// Name identifies the measure in diagnostics ("level", "preorder", ...).
+	Name string
+	// Sign[d] declares how every channel of direction d changes the
+	// measure: Pos = strictly increases, Neg = strictly decreases, Zero =
+	// leaves it unchanged. A declaration must be exact — "sometimes zero"
+	// is not expressible and must be declared via a different measure.
+	Sign []Sign
+	// DeltaSign returns the actual sign of the measure's change along
+	// channel c of cg, for validation.
+	DeltaSign func(cg *cgraph.CG, c int) Sign
+}
+
+// levelMeasure: the coordinated tree level Y. Valid for both BFS and DFS
+// trees (a tree channel changes the level by exactly one; cross channels
+// by their classification's sign).
+func levelMeasure(signs []Sign) Measure {
+	return Measure{
+		Name: "level",
+		Sign: signs,
+		DeltaSign: func(cg *cgraph.CG, c int) Sign {
+			ch := &cg.Channels[c]
+			return sgn(cg.Tree.Level[ch.To] - cg.Tree.Level[ch.From])
+		},
+	}
+}
+
+// preorderMeasure: the preorder rank X (unique per node, so never Zero for
+// a real channel unless declared mixed — X deltas are nonzero, making Zero
+// declarations invalid for any direction; use it only where X's sign is
+// uniform).
+func preorderMeasure(signs []Sign) Measure {
+	return Measure{
+		Name: "preorder",
+		Sign: signs,
+		DeltaSign: func(cg *cgraph.CG, c int) Sign {
+			ch := &cg.Channels[c]
+			return sgn(cg.Tree.X[ch.To] - cg.Tree.X[ch.From])
+		},
+	}
+}
+
+// lexLevelIDMeasure: the (level, id) lexicographic order classic up*/down*
+// uses.
+func lexLevelIDMeasure(signs []Sign) Measure {
+	return Measure{
+		Name: "lex(level,id)",
+		Sign: signs,
+		DeltaSign: func(cg *cgraph.CG, c int) Sign {
+			ch := &cg.Channels[c]
+			t := cg.Tree
+			switch {
+			case t.Level[ch.To] != t.Level[ch.From]:
+				return sgn(t.Level[ch.To] - t.Level[ch.From])
+			default:
+				return sgn(ch.To - ch.From)
+			}
+		},
+	}
+}
+
+// lexLevelXMeasure: the (level, preorder) lexicographic order the
+// right/left routing's four-direction folding uses.
+func lexLevelXMeasure(signs []Sign) Measure {
+	return Measure{
+		Name: "lex(level,preorder)",
+		Sign: signs,
+		DeltaSign: func(cg *cgraph.CG, c int) Sign {
+			ch := &cg.Channels[c]
+			t := cg.Tree
+			if t.Level[ch.To] != t.Level[ch.From] {
+				return sgn(t.Level[ch.To] - t.Level[ch.From])
+			}
+			return sgn(t.X[ch.To] - t.X[ch.From])
+		},
+	}
+}
+
+func sgn(x int) Sign {
+	switch {
+	case x < 0:
+		return Neg
+	case x > 0:
+		return Pos
+	default:
+		return Zero
+	}
+}
+
+// MeasuresFor returns the measures appropriate to a scheme's alphabet, with
+// the per-direction signs that hold by construction of the coordinated
+// tree. It returns nil for unknown schemes (certification then fails
+// closed).
+func MeasuresFor(scheme Scheme) []Measure {
+	switch scheme.(type) {
+	case EightDir:
+		// Order: LUTree, RDTree, LUCross, LDCross, RUCross, RDCross, RCross, LCross.
+		return []Measure{
+			levelMeasure([]Sign{Neg, Pos, Neg, Pos, Neg, Pos, Zero, Zero}),
+			preorderMeasure([]Sign{Neg, Pos, Neg, Neg, Pos, Pos, Pos, Neg}),
+		}
+	case SixDir:
+		// Order: LU, RU, L, R, LD, RD.
+		return []Measure{
+			levelMeasure([]Sign{Neg, Neg, Zero, Zero, Pos, Pos}),
+			preorderMeasure([]Sign{Neg, Pos, Neg, Pos, Neg, Pos}),
+		}
+	case FourDir:
+		// Order: LU, RU, LD, RD. LU folds in L_CROSS and RD folds in
+		// R_CROSS, so only the lexicographic measure is uniformly signed.
+		return []Measure{
+			lexLevelXMeasure([]Sign{Neg, Neg, Pos, Pos}),
+		}
+	case UpDownDir:
+		return []Measure{
+			lexLevelIDMeasure([]Sign{Neg, Pos}),
+		}
+	case PreorderUpDown:
+		return []Measure{
+			preorderMeasure([]Sign{Neg, Pos}),
+		}
+	default:
+		return nil
+	}
+}
+
+// ValidateMeasures checks every declared sign against every channel of a
+// concrete communication graph, returning the first mismatch. Run it on
+// representative topologies before trusting a certificate.
+func ValidateMeasures(cg *cgraph.CG, scheme Scheme, measures []Measure) error {
+	dirs := AssignDirs(cg, scheme)
+	for _, m := range measures {
+		if len(m.Sign) != scheme.NumDirs() {
+			return fmt.Errorf("turnmodel: measure %s has %d signs for %d directions",
+				m.Name, len(m.Sign), scheme.NumDirs())
+		}
+		for c := range dirs {
+			want := m.Sign[dirs[c]]
+			if got := m.DeltaSign(cg, c); got != want {
+				ch := &cg.Channels[c]
+				return fmt.Errorf("turnmodel: measure %s: channel <%d,%d> (%s) has sign %d, declared %d",
+					m.Name, ch.From, ch.To, scheme.DirName(dirs[c]), got, want)
+			}
+		}
+	}
+	return nil
+}
+
+// CertifyAcyclic proves that the uniform turn configuration mask admits no
+// turn cycle in ANY communication graph whose channels obey the measures'
+// declared signs. It returns nil on success and a diagnostic error naming
+// the unprovable direction set otherwise.
+func CertifyAcyclic(numDirs int, mask Mask, measures []Measure) error {
+	all := make([]Dir, numDirs)
+	for d := range all {
+		all[d] = Dir(d)
+	}
+	return certify(all, mask, measures)
+}
+
+func certify(dirs []Dir, mask Mask, measures []Measure) error {
+	for _, scc := range sccs(dirs, mask) {
+		if len(scc) == 1 {
+			d := scc[0]
+			// Same-direction continuation is always allowed, so a cycle of
+			// a single direction is ruled out only by strict monotonicity.
+			strict := false
+			for _, m := range measures {
+				if m.Sign[d] != Zero {
+					strict = true
+					break
+				}
+			}
+			if !strict {
+				return fmt.Errorf("turnmodel: direction %d is not strictly monotone in any measure", d)
+			}
+			continue
+		}
+		if err := stratify(scc, mask, measures); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stratify handles one multi-direction SCC: find a measure whose signs over
+// the SCC are uniformly >= 0 or uniformly <= 0 (not all zero), and recurse
+// on the zero set.
+func stratify(scc []Dir, mask Mask, measures []Measure) error {
+	for _, m := range measures {
+		for _, want := range []Sign{Pos, Neg} {
+			ok := true
+			var zero []Dir
+			nonZero := 0
+			for _, d := range scc {
+				switch m.Sign[d] {
+				case Zero:
+					zero = append(zero, d)
+				case want:
+					nonZero++
+				default:
+					ok = false
+				}
+				if !ok {
+					break
+				}
+			}
+			if !ok || nonZero == 0 {
+				continue
+			}
+			// All cycle mass must sit in the zero set; certify it.
+			if err := certify(zero, mask, measures); err != nil {
+				continue // try another stratification
+			}
+			return nil
+		}
+	}
+	names := make([]string, len(scc))
+	for i, d := range scc {
+		names[i] = fmt.Sprintf("%d", d)
+	}
+	return fmt.Errorf("turnmodel: cannot certify direction component {%s}: no measure stratifies it",
+		strings.Join(names, ","))
+}
+
+// sccs computes strongly connected components of the allowed-turn DDG
+// restricted to dirs (Tarjan; the alphabet is at most 8, so simplicity
+// beats asymptotics).
+func sccs(dirs []Dir, mask Mask) [][]Dir {
+	in := make(map[Dir]bool, len(dirs))
+	for _, d := range dirs {
+		in[d] = true
+	}
+	index := map[Dir]int{}
+	low := map[Dir]int{}
+	onStack := map[Dir]bool{}
+	var stack []Dir
+	var out [][]Dir
+	counter := 0
+
+	var strong func(v Dir)
+	strong = func(v Dir) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range dirs {
+			if w == v || !mask.Allowed(v, w) {
+				continue
+			}
+			if _, seen := index[w]; !seen {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []Dir
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			out = append(out, comp)
+		}
+	}
+	for _, d := range dirs {
+		if _, seen := index[d]; !seen {
+			strong(d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package turnmodel
+
+import (
+	"testing"
+
+	"repro/internal/cgraph"
+	"repro/internal/ctree"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+func certCG(t *testing.T, seed uint64, dfs bool) *cgraph.CG {
+	t.Helper()
+	r := rng.New(seed)
+	g, err := topology.RandomIrregular(topology.IrregularConfig{Switches: 36, Ports: 5}, r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr *ctree.Tree
+	if dfs {
+		tr, err = ctree.BuildDFS(g, ctree.M2, r.Split())
+	} else {
+		tr, err = ctree.Build(g, ctree.M2, r.Split())
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cgraph.Build(tr)
+}
+
+// TestMeasuresValidateEverywhere: the declared per-direction signs must
+// hold on every channel of a wide range of communication graphs — BFS and
+// DFS trees, all policies, regular and clustered topologies.
+func TestMeasuresValidateEverywhere(t *testing.T) {
+	schemes := []Scheme{EightDir{}, SixDir{}, FourDir{}, UpDownDir{}, PreorderUpDown{}}
+	var cgs []*cgraph.CG
+	for seed := uint64(0); seed < 4; seed++ {
+		cgs = append(cgs, certCG(t, seed, false), certCG(t, seed, true))
+	}
+	for _, g := range []*topology.Graph{topology.Torus2D(4, 4), topology.Petersen(), topology.Star(7)} {
+		tr, err := ctree.Build(g, ctree.M1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cgs = append(cgs, cgraph.Build(tr))
+	}
+	cl, err := topology.ClusteredIrregular(topology.ClusteredConfig{Clusters: 4, ClusterSize: 6, Ports: 5}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ctree.Build(cl, ctree.M3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cgs = append(cgs, cgraph.Build(tr))
+
+	for _, scheme := range schemes {
+		ms := MeasuresFor(scheme)
+		if ms == nil {
+			t.Fatalf("no measures for %s", scheme.Name())
+		}
+		for i, cg := range cgs {
+			if err := ValidateMeasures(cg, scheme, ms); err != nil {
+				t.Fatalf("%s on cg %d: %v", scheme.Name(), i, err)
+			}
+		}
+	}
+}
+
+func TestCertifyUpDown(t *testing.T) {
+	m := NewMask(2, []Turn{{UDDown, UDUp}})
+	if err := CertifyAcyclic(2, m, MeasuresFor(UpDownDir{})); err != nil {
+		t.Fatal(err)
+	}
+	if err := CertifyAcyclic(2, m, MeasuresFor(PreorderUpDown{})); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCertifyFailsUnrestricted(t *testing.T) {
+	m := NewMask(8, nil)
+	if err := CertifyAcyclic(8, m, MeasuresFor(EightDir{})); err == nil {
+		t.Fatal("unrestricted configuration certified")
+	}
+	// And two-direction unrestricted: DOWN <-> UP freely.
+	m2 := NewMask(2, nil)
+	if err := CertifyAcyclic(2, m2, MeasuresFor(UpDownDir{})); err == nil {
+		t.Fatal("unrestricted up/down certified")
+	}
+}
+
+func TestCertifySingletonNeedsStrictness(t *testing.T) {
+	// A 1-direction alphabet with a measure declaring it Zero cannot be
+	// certified (same-direction cycles are conceivable); declaring it
+	// strict certifies.
+	zero := []Measure{{Name: "m", Sign: []Sign{Zero}}}
+	strict := []Measure{{Name: "m", Sign: []Sign{Pos}}}
+	m := NewMask(1, nil)
+	if err := CertifyAcyclic(1, m, zero); err == nil {
+		t.Fatal("non-monotone singleton certified")
+	}
+	if err := CertifyAcyclic(1, m, strict); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCertifyRecursiveStratification(t *testing.T) {
+	// Four directions: a (level +), b (level +), x (level 0, preorder +),
+	// y (level 0, preorder -). All turns allowed except y -> x, so the
+	// {x,y} zero set is a DAG. The whole alphabet is one SCC; stratifying
+	// on the level leaves {x,y}, which certifies via SCC decomposition.
+	measures := []Measure{
+		{Name: "level", Sign: []Sign{Pos, Pos, Zero, Zero}},
+		{Name: "preorder", Sign: []Sign{Pos, Pos, Pos, Neg}},
+	}
+	m := NewMask(4, []Turn{{3, 2}})
+	if err := CertifyAcyclic(4, m, measures); err != nil {
+		t.Fatal(err)
+	}
+	// Allow y -> x again: the zero set cycles (x -> y -> x) and neither
+	// measure stratifies it, so certification must fail.
+	m2 := NewMask(4, nil)
+	if err := CertifyAcyclic(4, m2, measures); err == nil {
+		t.Fatal("cyclic zero set certified")
+	}
+}
+
+func TestSCCDecomposition(t *testing.T) {
+	// 0 -> 1 -> 2 -> 0 is a 3-cycle; 3 is isolated.
+	var prohibited []Turn
+	for a := Dir(0); a < 4; a++ {
+		for b := Dir(0); b < 4; b++ {
+			if a == b {
+				continue
+			}
+			keep := (a == 0 && b == 1) || (a == 1 && b == 2) || (a == 2 && b == 0)
+			if !keep {
+				prohibited = append(prohibited, Turn{a, b})
+			}
+		}
+	}
+	m := NewMask(4, prohibited)
+	comps := sccs([]Dir{0, 1, 2, 3}, m)
+	var sizes []int
+	for _, c := range comps {
+		sizes = append(sizes, len(c))
+	}
+	three, one := 0, 0
+	for _, s := range sizes {
+		switch s {
+		case 3:
+			three++
+		case 1:
+			one++
+		}
+	}
+	if three != 1 || one != 1 {
+		t.Fatalf("scc sizes = %v", sizes)
+	}
+}
+
+func TestValidateMeasuresCatchesLies(t *testing.T) {
+	cg := certCG(t, 1, false)
+	bad := []Measure{{
+		Name: "lie",
+		Sign: make([]Sign, 8), // declares everything Zero
+		DeltaSign: func(cg *cgraph.CG, c int) Sign {
+			return Pos // reality disagrees
+		},
+	}}
+	if err := ValidateMeasures(cg, EightDir{}, bad); err == nil {
+		t.Fatal("lying measure validated")
+	}
+	short := []Measure{{Name: "short", Sign: []Sign{Zero}}}
+	if err := ValidateMeasures(cg, EightDir{}, short); err == nil {
+		t.Fatal("wrong-length measure validated")
+	}
+}

@@ -1,0 +1,193 @@
+package turnmodel
+
+import "fmt"
+
+// DDG is a direction dependency graph (paper Definitions 8-9): a directed
+// graph over a scheme's direction alphabet whose edges are allowed turns.
+// The complete direction graph (CDG) has every distinct-direction edge.
+//
+// DDGs support the paper's Lemma 1 workflow: an acyclic DDG guarantees no
+// turn cycle in any communication graph (the cheap, sufficient check),
+// while the converse is false — a cyclic DDG may still induce no turn
+// cycle in a particular CG (the paper's Figure 1(f)) — which is why the
+// exact channel-level check in System exists.
+type DDG struct {
+	numDirs int
+	adj     [MaxDirs]uint8 // bit d2 of adj[d1]: edge d1 -> d2
+}
+
+// CompleteDG returns the complete direction graph over numDirs directions.
+func CompleteDG(numDirs int) DDG {
+	if numDirs < 1 || numDirs > MaxDirs {
+		panic(fmt.Sprintf("turnmodel: numDirs %d out of range", numDirs))
+	}
+	var d DDG
+	d.numDirs = numDirs
+	full := uint8(1<<uint(numDirs)) - 1
+	for i := 0; i < numDirs; i++ {
+		d.adj[i] = full &^ (1 << uint(i)) // no self-edges
+	}
+	return d
+}
+
+// DDGFromMask builds the DDG whose edges are the turns a mask allows
+// (ignoring the always-allowed diagonal).
+func DDGFromMask(numDirs int, m Mask) DDG {
+	d := CompleteDG(numDirs)
+	for d1 := 0; d1 < numDirs; d1++ {
+		for d2 := 0; d2 < numDirs; d2++ {
+			if d1 != d2 && !m.Allowed(Dir(d1), Dir(d2)) {
+				d.adj[d1] &^= 1 << uint(d2)
+			}
+		}
+	}
+	return d
+}
+
+// NumDirs returns the alphabet size.
+func (d DDG) NumDirs() int { return d.numDirs }
+
+// HasEdge reports whether the turn d1 -> d2 is an edge.
+func (d DDG) HasEdge(d1, d2 Dir) bool { return d.adj[d1]&(1<<d2) != 0 }
+
+// WithEdge returns a copy with the edge d1 -> d2 added.
+func (d DDG) WithEdge(d1, d2 Dir) DDG {
+	if d1 == d2 {
+		panic("turnmodel: DDG self-edge")
+	}
+	d.adj[d1] |= 1 << d2
+	return d
+}
+
+// WithoutEdge returns a copy with the edge d1 -> d2 removed.
+func (d DDG) WithoutEdge(d1, d2 Dir) DDG {
+	d.adj[d1] &^= 1 << d2
+	return d
+}
+
+// Edges lists the DDG's edges as turns, lexicographically.
+func (d DDG) Edges() []Turn {
+	var ts []Turn
+	for d1 := 0; d1 < d.numDirs; d1++ {
+		for d2 := 0; d2 < d.numDirs; d2++ {
+			if d.HasEdge(Dir(d1), Dir(d2)) {
+				ts = append(ts, Turn{Dir(d1), Dir(d2)})
+			}
+		}
+	}
+	return ts
+}
+
+// FindCycle returns the directions along a cycle in the DDG, or nil if the
+// DDG is acyclic. With at most eight nodes, a simple colored DFS suffices.
+func (d DDG) FindCycle() []Dir {
+	color := [MaxDirs]uint8{}
+	parent := [MaxDirs]int8{}
+	var cyc []Dir
+	var dfs func(v int) bool
+	dfs = func(v int) bool {
+		color[v] = 1
+		for w := 0; w < d.numDirs; w++ {
+			if !d.HasEdge(Dir(v), Dir(w)) {
+				continue
+			}
+			switch color[w] {
+			case 0:
+				parent[w] = int8(v)
+				if dfs(w) {
+					return true
+				}
+			case 1:
+				// Reconstruct w ... v.
+				cyc = []Dir{Dir(w)}
+				for u := v; u != w; u = int(parent[u]) {
+					cyc = append(cyc, Dir(u))
+				}
+				// cyc currently holds w, v, parent(v)... — reverse the tail
+				// so the cycle reads w -> ... -> v.
+				for i, j := 1, len(cyc)-1; i < j; i, j = i+1, j-1 {
+					cyc[i], cyc[j] = cyc[j], cyc[i]
+				}
+				return true
+			}
+		}
+		color[v] = 2
+		return false
+	}
+	for v := 0; v < d.numDirs; v++ {
+		if color[v] == 0 {
+			if dfs(v) {
+				return cyc
+			}
+		}
+	}
+	return nil
+}
+
+// Acyclic reports whether the DDG has no cycle. Per Lemma 1, an acyclic
+// DDG applied uniformly at every node induces no turn cycle in ANY
+// communication graph.
+func (d DDG) Acyclic() bool { return d.FindCycle() == nil }
+
+// Mask converts the DDG back to an allowed-turn mask (diagonal allowed).
+func (d DDG) Mask() Mask {
+	var prohibited []Turn
+	for d1 := 0; d1 < d.numDirs; d1++ {
+		for d2 := 0; d2 < d.numDirs; d2++ {
+			if d1 != d2 && !d.HasEdge(Dir(d1), Dir(d2)) {
+				prohibited = append(prohibited, Turn{Dir(d1), Dir(d2)})
+			}
+		}
+	}
+	return NewMask(d.numDirs, prohibited)
+}
+
+// RedundantProhibitions analyses a System against paper Definition 11
+// (maximal ADDG): it returns the uniformly-prohibited turns that could be
+// allowed at every node of THIS communication graph without creating a turn
+// cycle. An empty result means the configuration is maximal for this CG; a
+// non-empty result quantifies how conservative the global prohibited set is
+// on this topology (the slack the paper's Phase 3 release pass recovers,
+// and more — Phase 3 only considers two turn types).
+//
+// Only turns prohibited at every node are considered (per-node releases are
+// left untouched), and the checks are sequential: each accepted relaxation
+// stays in effect for the following ones, so applying the returned turns in
+// order is guaranteed cycle-free. The System is restored before returning.
+func RedundantProhibitions(sys *System) []Turn {
+	numDirs := sys.Scheme.NumDirs()
+	saved := append([]Mask(nil), sys.Allowed...)
+	defer func() { sys.Allowed = saved }()
+	work := append([]Mask(nil), sys.Allowed...)
+	sys.Allowed = work
+
+	var redundant []Turn
+	for d1 := 0; d1 < numDirs; d1++ {
+		for d2 := 0; d2 < numDirs; d2++ {
+			if d1 == d2 {
+				continue
+			}
+			everywhere := true
+			for v := range work {
+				if work[v].Allowed(Dir(d1), Dir(d2)) {
+					everywhere = false
+					break
+				}
+			}
+			if !everywhere {
+				continue
+			}
+			for v := range work {
+				work[v] = work[v].Allow(Dir(d1), Dir(d2))
+			}
+			if sys.Acyclic() {
+				redundant = append(redundant, Turn{Dir(d1), Dir(d2)})
+			} else {
+				for v := range work {
+					work[v] = work[v].Forbid(Dir(d1), Dir(d2))
+				}
+			}
+		}
+	}
+	return redundant
+}

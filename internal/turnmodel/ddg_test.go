@@ -1,0 +1,215 @@
+package turnmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cgraph"
+	"repro/internal/ctree"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+func TestCompleteDG(t *testing.T) {
+	d := CompleteDG(4)
+	count := 0
+	for a := Dir(0); a < 4; a++ {
+		for b := Dir(0); b < 4; b++ {
+			if d.HasEdge(a, b) {
+				count++
+				if a == b {
+					t.Fatal("self-edge in complete DG")
+				}
+			}
+		}
+	}
+	if count != 12 {
+		t.Fatalf("complete DG on 4 has %d edges, want 12", count)
+	}
+	if d.Acyclic() {
+		t.Fatal("complete DG reported acyclic")
+	}
+}
+
+func TestDDGEdgeOps(t *testing.T) {
+	d := CompleteDG(3).WithoutEdge(0, 1)
+	if d.HasEdge(0, 1) {
+		t.Fatal("WithoutEdge had no effect")
+	}
+	d2 := d.WithEdge(0, 1)
+	if !d2.HasEdge(0, 1) {
+		t.Fatal("WithEdge had no effect")
+	}
+	if d.HasEdge(0, 1) {
+		t.Fatal("WithEdge mutated receiver")
+	}
+	if got := len(CompleteDG(3).Edges()); got != 6 {
+		t.Fatalf("Edges() = %d, want 6", got)
+	}
+}
+
+func TestDDGAcyclicCases(t *testing.T) {
+	// A DAG over 4 directions: edges only from lower to higher index.
+	d := CompleteDG(4)
+	for a := Dir(0); a < 4; a++ {
+		for b := Dir(0); b < a; b++ {
+			d = d.WithoutEdge(a, b)
+		}
+	}
+	if !d.Acyclic() {
+		t.Fatalf("triangular DDG reported cyclic: %v", d.FindCycle())
+	}
+	// Restore one back edge: cycle appears.
+	d = d.WithEdge(3, 0)
+	cyc := d.FindCycle()
+	if cyc == nil {
+		t.Fatal("cycle not found after adding back edge")
+	}
+	// The reported cycle must be a real cycle in the DDG.
+	for i := range cyc {
+		if !d.HasEdge(cyc[i], cyc[(i+1)%len(cyc)]) {
+			t.Fatalf("reported cycle %v uses a missing edge", cyc)
+		}
+	}
+}
+
+func TestDDGMaskRoundTrip(t *testing.T) {
+	m := NewMask(5, []Turn{{0, 1}, {3, 2}, {4, 0}})
+	d := DDGFromMask(5, m)
+	back := d.Mask()
+	for a := Dir(0); a < 5; a++ {
+		for b := Dir(0); b < 5; b++ {
+			if m.Allowed(a, b) != back.Allowed(a, b) {
+				t.Fatalf("round trip differs at (%d,%d)", a, b)
+			}
+		}
+	}
+}
+
+// TestLemma1 is the paper's Lemma 1 as a property test: whenever a random
+// DDG is acyclic, applying it uniformly to a random communication graph
+// yields no turn cycle.
+func TestLemma1(t *testing.T) {
+	f := func(seed uint64, edgeBits uint64) bool {
+		r := rng.New(seed)
+		g, err := topology.RandomIrregular(topology.IrregularConfig{Switches: 24, Ports: 4}, r.Split())
+		if err != nil {
+			return false
+		}
+		tr, err := ctree.Build(g, ctree.M1, nil)
+		if err != nil {
+			return false
+		}
+		cg := cgraph.Build(tr)
+		// Random DDG over the 8-direction alphabet from edgeBits.
+		d := CompleteDG(8)
+		bit := 0
+		for a := Dir(0); a < 8; a++ {
+			for b := Dir(0); b < 8; b++ {
+				if a == b {
+					continue
+				}
+				if edgeBits&(1<<uint(bit%64)) == 0 {
+					d = d.WithoutEdge(a, b)
+				}
+				bit++
+			}
+		}
+		if !d.Acyclic() {
+			return true // Lemma 1 says nothing about cyclic DDGs
+		}
+		sys := NewSystem(cg, EightDir{}, d.Mask())
+		return sys.Acyclic()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFigure1fConverse captures the converse's failure (Definition 10's
+// subtlety): the Figure 1(f) DDG is cyclic as a direction graph yet induces
+// no turn cycle in its CG — checked in turnmodel_test.go via the System;
+// here we check the DDG side.
+func TestFigure1fConverse(t *testing.T) {
+	d := CompleteDG(8)
+	for a := Dir(0); a < 8; a++ {
+		for b := Dir(0); b < 8; b++ {
+			if a == b {
+				continue
+			}
+			keep := (a == Dir(cgraph.LDCross) && b == Dir(cgraph.RDTree)) ||
+				(a == Dir(cgraph.RDTree) && b == Dir(cgraph.LDCross))
+			if !keep {
+				d = d.WithoutEdge(a, b)
+			}
+		}
+	}
+	if d.Acyclic() {
+		t.Fatal("Figure 1(f) DDG should contain the two-edge cycle")
+	}
+}
+
+func TestRedundantProhibitionsOnTree(t *testing.T) {
+	// On a tree topology nothing can ever cycle, so EVERY uniformly
+	// prohibited turn is redundant.
+	tr, err := ctree.Build(topology.CompleteBinaryTree(15), ctree.M1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := cgraph.Build(tr)
+	prohibited := []Turn{{Dir(cgraph.RDTree), Dir(cgraph.LUTree)}, {Dir(cgraph.LUTree), Dir(cgraph.RDTree)}}
+	sys := NewSystem(cg, EightDir{}, NewMask(8, prohibited))
+	red := RedundantProhibitions(sys)
+	if len(red) != 2 {
+		t.Fatalf("redundant = %v, want both prohibitions", red)
+	}
+	// The system's masks are restored afterwards.
+	if sys.Allowed[0].Allowed(Dir(cgraph.RDTree), Dir(cgraph.LUTree)) {
+		t.Fatal("RedundantProhibitions left the system modified")
+	}
+}
+
+func TestRedundantProhibitionsSafety(t *testing.T) {
+	// Applying every reported redundant prohibition simultaneously must
+	// keep the configuration cycle-free (the sequential construction
+	// guarantees it).
+	r := rng.New(5)
+	for trial := 0; trial < 5; trial++ {
+		g, err := topology.RandomIrregular(topology.IrregularConfig{Switches: 32, Ports: 4}, r.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := ctree.Build(g, ctree.M1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cg := cgraph.Build(tr)
+		sys := NewSystem(cg, UpDownDir{}, NewMask(2, []Turn{{UDDown, UDUp}}))
+		red := RedundantProhibitions(sys)
+		for v := range sys.Allowed {
+			for _, turn := range red {
+				sys.Allowed[v] = sys.Allowed[v].Allow(turn.From, turn.To)
+			}
+		}
+		if !sys.Acyclic() {
+			t.Fatalf("applying redundant prohibitions created a cycle (trial %d, %v)", trial, red)
+		}
+	}
+}
+
+func TestRedundantProhibitionsSkipsPartiallyReleased(t *testing.T) {
+	// A turn released at even one node is not "uniformly prohibited" and
+	// must not be reported.
+	tr, err := ctree.Build(topology.Ring(6), ctree.M1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := cgraph.Build(tr)
+	sys := NewSystem(cg, UpDownDir{}, NewMask(2, []Turn{{UDDown, UDUp}}))
+	sys.Allowed[2] = sys.Allowed[2].Allow(UDDown, UDUp)
+	for _, turn := range RedundantProhibitions(sys) {
+		if turn.From == UDDown && turn.To == UDUp {
+			t.Fatal("partially released turn reported as uniformly prohibited")
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package turnmodel
+
+import "repro/internal/cgraph"
+
+// AllTurns enumerates every distinct-direction turn of a scheme in
+// lexicographic order, as a convenient base for preference orders.
+func AllTurns(scheme Scheme) []Turn {
+	n := scheme.NumDirs()
+	var ts []Turn
+	for d1 := 0; d1 < n; d1++ {
+		for d2 := 0; d2 < n; d2++ {
+			if d1 != d2 {
+				ts = append(ts, Turn{Dir(d1), Dir(d2)})
+			}
+		}
+	}
+	return ts
+}
+
+// GreedyMaximalADDG constructs a maximal acyclic direction dependency graph
+// for a specific communication graph (paper Definition 11), automating what
+// the paper's Phase 2 does by hand: starting from the empty turn set (only
+// same-direction continuations, which are cycle-free for every scheme in
+// this repository because each direction is strictly monotone in X or Y or
+// in the (level, id) order), it considers turns in the given preference
+// order and admits each one — uniformly at every node — iff the
+// configuration stays turn-cycle-free on this CG.
+//
+// The preference order encodes the designer's traffic-shaping goals: the
+// paper's "push the traffic downward to the leaves" becomes "offer
+// down-moving turns first". The result is maximal for this CG by
+// construction: a rejected turn created a turn cycle when considered, and
+// since turns are only ever added afterwards, admitting it at the end would
+// still create one.
+//
+// It returns the per-node-uniform allowed mask and the admitted turns in
+// admission order. Turns absent from preference stay prohibited; pass
+// AllTurns-derived orders for a complete maximal set.
+func GreedyMaximalADDG(cg *cgraph.CG, scheme Scheme, preference []Turn) (Mask, []Turn) {
+	sys := NewSystem(cg, scheme, NewMask(scheme.NumDirs(), AllTurns(scheme)))
+	var admitted []Turn
+	for _, t := range preference {
+		for v := range sys.Allowed {
+			sys.Allowed[v] = sys.Allowed[v].Allow(t.From, t.To)
+		}
+		if sys.Acyclic() {
+			admitted = append(admitted, t)
+			continue
+		}
+		for v := range sys.Allowed {
+			sys.Allowed[v] = sys.Allowed[v].Forbid(t.From, t.To)
+		}
+	}
+	return sys.Allowed[0], admitted
+}
+
+// DownFirstPreference orders the eight-direction alphabet's turns by the
+// paper's Phase 2 philosophy: turns that keep traffic moving toward the
+// leaves first, then horizontal continuations, then ascents, and turns into
+// LU_TREE last (the paper prohibits all of those to shield the root).
+// Feeding this to GreedyMaximalADDG yields a DOWN/UP-flavoured maximal set
+// automatically; the tests compare its quality against the paper's
+// hand-derived PT.
+func DownFirstPreference() []Turn {
+	rank := func(dir Dir) int {
+		switch cgraph.Direction(dir) {
+		case cgraph.RDTree:
+			return 0
+		case cgraph.RDCross, cgraph.LDCross:
+			return 1
+		case cgraph.RCross, cgraph.LCross:
+			return 2
+		case cgraph.LUCross, cgraph.RUCross:
+			return 3
+		default: // LU_TREE
+			return 4
+		}
+	}
+	// Sort AllTurns by (rank of target, rank of source): prefer turns ONTO
+	// downward channels, and among those, from downward sources.
+	ts := AllTurns(EightDir{})
+	// Insertion sort keeps this dependency-free and stable.
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ts[j-1], ts[j]
+			ka := rank(a.To)*8 + rank(a.From)
+			kb := rank(b.To)*8 + rank(b.From)
+			if kb < ka {
+				ts[j-1], ts[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return ts
+}

@@ -1,0 +1,142 @@
+package turnmodel
+
+import (
+	"testing"
+
+	"repro/internal/cgraph"
+	"repro/internal/ctree"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+func deriveCG(t *testing.T, seed uint64, switches, ports int) *cgraph.CG {
+	t.Helper()
+	g, err := topology.RandomIrregular(topology.IrregularConfig{Switches: switches, Ports: ports}, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ctree.Build(g, ctree.M1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cgraph.Build(tr)
+}
+
+func TestAllTurns(t *testing.T) {
+	ts := AllTurns(EightDir{})
+	if len(ts) != 56 {
+		t.Fatalf("AllTurns(8dir) = %d, want 56", len(ts))
+	}
+	ts = AllTurns(UpDownDir{})
+	if len(ts) != 2 {
+		t.Fatalf("AllTurns(updown) = %d, want 2", len(ts))
+	}
+}
+
+func TestEmptyTurnSetAcyclic(t *testing.T) {
+	// The greedy derivation's base case: with every distinct-direction turn
+	// prohibited, no scheme here admits a turn cycle (each direction is
+	// strictly monotone in some coordinate).
+	for _, scheme := range []Scheme{EightDir{}, SixDir{}, FourDir{}, UpDownDir{}} {
+		for seed := uint64(0); seed < 5; seed++ {
+			cg := deriveCG(t, seed, 28, 4)
+			sys := NewSystem(cg, scheme, NewMask(scheme.NumDirs(), AllTurns(scheme)))
+			if cyc := sys.FindTurnCycle(); cyc != nil {
+				t.Fatalf("%s: empty turn set admits cycle: %s", scheme.Name(), sys.DescribeCycle(cyc))
+			}
+		}
+	}
+}
+
+func TestGreedyMaximalADDGIsAcyclicAndMaximal(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		cg := deriveCG(t, seed, 32, 4)
+		mask, admitted := GreedyMaximalADDG(cg, EightDir{}, DownFirstPreference())
+		sys := NewSystem(cg, EightDir{}, mask)
+		if cyc := sys.FindTurnCycle(); cyc != nil {
+			t.Fatalf("greedy result cyclic: %s", sys.DescribeCycle(cyc))
+		}
+		// Maximality (Definition 11): no uniformly prohibited turn can be
+		// re-admitted without creating a cycle.
+		if red := RedundantProhibitions(sys); len(red) != 0 {
+			t.Fatalf("greedy result not maximal: redundant %v", FormatTurns(EightDir{}, red))
+		}
+		if len(admitted) == 0 {
+			t.Fatal("greedy admitted nothing")
+		}
+	}
+}
+
+func TestGreedyAdmitsAtLeastPaperPT(t *testing.T) {
+	// The paper's PT allows 56-18 = 38 turns; a maximal set derived with the
+	// down-first preference must allow at least as many on any CG (it can
+	// only add CG-specific extras on top of a maximal direction-level set).
+	cg := deriveCG(t, 9, 48, 4)
+	_, admitted := GreedyMaximalADDG(cg, EightDir{}, DownFirstPreference())
+	if len(admitted) < 38 {
+		t.Fatalf("greedy admitted only %d turns; the paper's PT allows 38", len(admitted))
+	}
+}
+
+func TestGreedyRespectsPreferencePrefix(t *testing.T) {
+	// Turns early in the preference that are individually safe must be
+	// admitted. The very first down-first turn is onto RD_TREE from another
+	// down direction — safe alone on any CG.
+	cg := deriveCG(t, 3, 24, 4)
+	pref := DownFirstPreference()
+	mask, admitted := GreedyMaximalADDG(cg, EightDir{}, pref)
+	if len(admitted) == 0 || admitted[0] != pref[0] {
+		t.Fatalf("first preferred turn %v not admitted first (got %v)", pref[0], admitted)
+	}
+	if !mask.Allowed(pref[0].From, pref[0].To) {
+		t.Fatal("admitted turn not in mask")
+	}
+}
+
+func TestGreedyPartialPreference(t *testing.T) {
+	// Turns not in the preference stay prohibited.
+	cg := deriveCG(t, 4, 20, 4)
+	pref := []Turn{{Dir(cgraph.LUTree), Dir(cgraph.RDTree)}}
+	mask, admitted := GreedyMaximalADDG(cg, EightDir{}, pref)
+	if len(admitted) != 1 {
+		t.Fatalf("admitted %v", admitted)
+	}
+	if mask.Allowed(Dir(cgraph.RDTree), Dir(cgraph.LUTree)) {
+		t.Fatal("unlisted turn allowed")
+	}
+}
+
+func TestDownFirstPreferenceShape(t *testing.T) {
+	pref := DownFirstPreference()
+	if len(pref) != 56 {
+		t.Fatalf("preference has %d turns", len(pref))
+	}
+	// The first eight turns all target RD_TREE; the last seven all target
+	// LU_TREE.
+	for i := 0; i < 7; i++ {
+		if cgraph.Direction(pref[i].To) != cgraph.RDTree {
+			t.Fatalf("preference[%d] = %v, want an RD_TREE target", i, pref[i])
+		}
+		last := pref[len(pref)-1-i]
+		if cgraph.Direction(last.To) != cgraph.LUTree {
+			t.Fatalf("preference tail %v, want an LU_TREE target", last)
+		}
+	}
+}
+
+func BenchmarkGreedyMaximalADDG(b *testing.B) {
+	g, err := topology.RandomIrregular(topology.IrregularConfig{Switches: 64, Ports: 4}, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := ctree.Build(g, ctree.M1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cg := cgraph.Build(tr)
+	pref := DownFirstPreference()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GreedyMaximalADDG(cg, EightDir{}, pref)
+	}
+}

@@ -1,0 +1,74 @@
+package turnmodel
+
+// Release implements the paper's Phase 3 cycle_detection pass in its
+// general form: for every node v (in ascending id order) and every candidate
+// prohibited turn type (d1, d2), release the turn at v if and only if doing
+// so cannot create a turn cycle in the communication graph.
+//
+// The exactness argument: releasing (d1, d2) at v adds to the channel
+// dependency graph precisely the edges e1 -> e2 with e1 an in-channel of v
+// of direction d1 and e2 an out-channel of direction d2 (excluding U-turn
+// pairs, which remain forbidden). A cycle using a new edge must come back to
+// that edge, i.e., contain a path e2 ~> e1; conversely such a path plus the
+// new edge is a cycle. So the release is safe iff no e1 is reachable from
+// any e2 — checked with the tentative release already in effect, so cycles
+// that would thread through several of v's own released pairs are also
+// caught.
+//
+// Releases are applied sequentially; each check sees all earlier releases,
+// so the final configuration is turn-cycle-free whenever the input
+// configuration was (the tests assert this invariant on random networks).
+// The paper's pseudocode expresses the same intent with an explicit DFS and
+// stacks; see DESIGN.md §8 for the (cosmetic) differences.
+//
+// It returns the number of (node, turn-type) releases performed.
+func Release(sys *System, candidates []Turn) int {
+	released := 0
+	var ins, outs []int
+	for v := range sys.Allowed {
+		for _, t := range candidates {
+			if sys.Allowed[v].Allowed(t.From, t.To) {
+				continue // not prohibited here (already released or never set)
+			}
+			ins, outs = ins[:0], outs[:0]
+			for _, c := range sys.CG.In[v] {
+				if sys.Dirs[c] == t.From {
+					ins = append(ins, c)
+				}
+			}
+			for _, c := range sys.CG.Out[v] {
+				if sys.Dirs[c] == t.To {
+					outs = append(outs, c)
+				}
+			}
+			if len(ins) == 0 || len(outs) == 0 {
+				// No channel pair realizes the turn at v; the prohibition is
+				// vacuous, so leave it in place (releasing it would change
+				// nothing).
+				continue
+			}
+			sys.Allowed[v] = sys.Allowed[v].Allow(t.From, t.To)
+			if releaseCreatesCycle(sys, ins, outs) {
+				sys.Allowed[v] = sys.Allowed[v].Forbid(t.From, t.To)
+			} else {
+				released++
+			}
+		}
+	}
+	return released
+}
+
+func releaseCreatesCycle(sys *System, ins, outs []int) bool {
+	for _, e2 := range outs {
+		reach := sys.ReachableChannels(e2)
+		for _, e1 := range ins {
+			if e1 == sys.CG.Reverse(e2) {
+				continue // the U-turn pair stays forbidden regardless
+			}
+			if reach[e1] {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,328 @@
+// Package turnmodel provides the turn-model machinery shared by every
+// routing algorithm in this repository: direction schemes (mappings from
+// channels to a small direction alphabet), per-node allowed-turn masks,
+// direction graphs / direction dependency graphs (paper Definitions 8-10),
+// and — most importantly — exact, channel-level turn-cycle detection
+// (Definition 7), which is the ground truth for deadlock freedom.
+//
+// Paper Lemma 1 gives the easy direction (an acyclic DDG implies no turn
+// cycle in the communication graph); the converse is false (the paper's own
+// Figure 1(f) example), so every algorithm here is ultimately validated by
+// the channel-level check in this package rather than by reasoning about
+// direction graphs alone.
+package turnmodel
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cgraph"
+)
+
+// Dir is a direction in some scheme's alphabet (at most MaxDirs values).
+type Dir = uint8
+
+// MaxDirs bounds the size of any scheme's direction alphabet. The paper's
+// complete direction graph has 8 directions; coarser schemes use fewer.
+const MaxDirs = 8
+
+// Turn is an ordered pair of distinct directions (paper Definition 6 at the
+// direction-graph level): a packet arriving on a channel with direction From
+// and departing on a channel with direction To makes this turn.
+type Turn struct {
+	From, To Dir
+}
+
+// Mask is an allowed-turn matrix over a direction alphabet: bit d2 of
+// Mask[d1] is set iff the turn d1 -> d2 is allowed. By convention the
+// diagonal (same-direction continuation) is always allowed — turns are only
+// defined between distinct directions (Definition 8's edge set excludes
+// d1 == d2) — and NewMask enforces that.
+type Mask [MaxDirs]uint8
+
+// NewMask returns a mask over numDirs directions with every turn allowed
+// except those in prohibited. Prohibited pairs with From == To or with a
+// direction outside the alphabet cause a panic: they indicate a bug in the
+// algorithm constructing the set.
+func NewMask(numDirs int, prohibited []Turn) Mask {
+	if numDirs < 1 || numDirs > MaxDirs {
+		panic(fmt.Sprintf("turnmodel: numDirs %d out of range", numDirs))
+	}
+	var m Mask
+	full := uint8(1<<uint(numDirs)) - 1
+	for d := 0; d < numDirs; d++ {
+		m[d] = full
+	}
+	for _, t := range prohibited {
+		if int(t.From) >= numDirs || int(t.To) >= numDirs {
+			panic(fmt.Sprintf("turnmodel: turn %v outside alphabet of size %d", t, numDirs))
+		}
+		if t.From == t.To {
+			panic(fmt.Sprintf("turnmodel: prohibited turn %v has equal directions", t))
+		}
+		m[t.From] &^= 1 << t.To
+	}
+	return m
+}
+
+// Allowed reports whether the turn d1 -> d2 is allowed.
+func (m Mask) Allowed(d1, d2 Dir) bool { return m[d1]&(1<<d2) != 0 }
+
+// Allow returns a copy of m with the turn d1 -> d2 allowed.
+func (m Mask) Allow(d1, d2 Dir) Mask {
+	m[d1] |= 1 << d2
+	return m
+}
+
+// Forbid returns a copy of m with the turn d1 -> d2 prohibited.
+func (m Mask) Forbid(d1, d2 Dir) Mask {
+	m[d1] &^= 1 << d2
+	return m
+}
+
+// ProhibitedTurns lists the prohibited (off-diagonal) turns of m within an
+// alphabet of numDirs directions, in lexicographic order.
+func (m Mask) ProhibitedTurns(numDirs int) []Turn {
+	var ts []Turn
+	for d1 := 0; d1 < numDirs; d1++ {
+		for d2 := 0; d2 < numDirs; d2++ {
+			if d1 != d2 && !m.Allowed(Dir(d1), Dir(d2)) {
+				ts = append(ts, Turn{Dir(d1), Dir(d2)})
+			}
+		}
+	}
+	return ts
+}
+
+// Scheme maps the channels of a communication graph onto a direction
+// alphabet. The canonical scheme is the paper's eight-direction Definition 5
+// classification; coarser schemes implement the baselines.
+type Scheme interface {
+	// Name identifies the scheme (used in diagnostics and reports).
+	Name() string
+	// NumDirs is the alphabet size.
+	NumDirs() int
+	// DirName names a direction for diagnostics.
+	DirName(d Dir) string
+	// ChannelDir returns the direction of channel c under this scheme.
+	ChannelDir(cg *cgraph.CG, c int) Dir
+}
+
+// AssignDirs evaluates the scheme on every channel of cg.
+func AssignDirs(cg *cgraph.CG, s Scheme) []Dir {
+	dirs := make([]Dir, cg.NumChannels())
+	for c := range dirs {
+		dirs[c] = s.ChannelDir(cg, c)
+	}
+	return dirs
+}
+
+// EightDir is the paper's Definition 5 scheme: tree channels are LU_TREE or
+// RD_TREE; cross channels take one of the six geometric cross directions.
+// Direction values coincide with cgraph.Direction.
+type EightDir struct{}
+
+// Name implements Scheme.
+func (EightDir) Name() string { return "8dir" }
+
+// NumDirs implements Scheme.
+func (EightDir) NumDirs() int { return 8 }
+
+// DirName implements Scheme.
+func (EightDir) DirName(d Dir) string { return cgraph.Direction(d).String() }
+
+// ChannelDir implements Scheme.
+func (EightDir) ChannelDir(cg *cgraph.CG, c int) Dir { return Dir(cg.Channels[c].Dir) }
+
+// Six-direction alphabet used by the reconstructed L-turn baseline: the
+// L-R tree view in which "the tree links and the cross links are considered
+// as the same type of links" (paper §1), leaving the six geometric
+// directions of Definition 4.
+const (
+	SixLU Dir = iota
+	SixRU
+	SixL
+	SixR
+	SixLD
+	SixRD
+)
+
+// SixDir folds the eight-direction scheme by erasing the tree/cross
+// distinction: LU_TREE and LU_CROSS become LU; RD_TREE and RD_CROSS become
+// RD.
+type SixDir struct{}
+
+// Name implements Scheme.
+func (SixDir) Name() string { return "6dir" }
+
+// NumDirs implements Scheme.
+func (SixDir) NumDirs() int { return 6 }
+
+// DirName implements Scheme.
+func (SixDir) DirName(d Dir) string {
+	switch d {
+	case SixLU:
+		return "LU"
+	case SixRU:
+		return "RU"
+	case SixL:
+		return "L"
+	case SixR:
+		return "R"
+	case SixLD:
+		return "LD"
+	case SixRD:
+		return "RD"
+	default:
+		return fmt.Sprintf("Dir(%d)", d)
+	}
+}
+
+// ChannelDir implements Scheme.
+func (SixDir) ChannelDir(cg *cgraph.CG, c int) Dir {
+	switch cg.Channels[c].Dir {
+	case cgraph.LUTree, cgraph.LUCross:
+		return SixLU
+	case cgraph.RUCross:
+		return SixRU
+	case cgraph.LCross:
+		return SixL
+	case cgraph.RCross:
+		return SixR
+	case cgraph.LDCross:
+		return SixLD
+	case cgraph.RDTree, cgraph.RDCross:
+		return SixRD
+	default:
+		panic("turnmodel: unhandled direction")
+	}
+}
+
+// Two-direction alphabet used by the classic up*/down* baseline.
+const (
+	UDUp Dir = iota
+	UDDown
+)
+
+// UpDownDir is the classic up*/down* channel assignment (Schroeder et al.,
+// Autonet): a channel is "up" if it goes to a node at a lower BFS level, or
+// to the same level with a smaller node id; otherwise it is "down".
+type UpDownDir struct{}
+
+// Name implements Scheme.
+func (UpDownDir) Name() string { return "updown" }
+
+// NumDirs implements Scheme.
+func (UpDownDir) NumDirs() int { return 2 }
+
+// DirName implements Scheme.
+func (UpDownDir) DirName(d Dir) string {
+	if d == UDUp {
+		return "UP"
+	}
+	return "DOWN"
+}
+
+// ChannelDir implements Scheme.
+func (UpDownDir) ChannelDir(cg *cgraph.CG, c int) Dir {
+	ch := &cg.Channels[c]
+	t := cg.Tree
+	lf, lt := t.Level[ch.From], t.Level[ch.To]
+	if lt < lf || (lt == lf && ch.To < ch.From) {
+		return UDUp
+	}
+	return UDDown
+}
+
+// PreorderUpDown assigns up/down by preorder rank alone: a channel is "up"
+// iff its sink precedes its start in the tree's preorder. On a DFS spanning
+// tree this is the direction assignment of the improved up*/down* routing
+// of Sancho, Robles, and Duato (the paper's reference [6]); it is
+// deadlock-free with the single DOWN -> UP prohibition on ANY spanning
+// tree, because every channel strictly changes the preorder rank.
+type PreorderUpDown struct{}
+
+// Name implements Scheme.
+func (PreorderUpDown) Name() string { return "preorder-updown" }
+
+// NumDirs implements Scheme.
+func (PreorderUpDown) NumDirs() int { return 2 }
+
+// DirName implements Scheme.
+func (PreorderUpDown) DirName(d Dir) string {
+	if d == UDUp {
+		return "UP"
+	}
+	return "DOWN"
+}
+
+// ChannelDir implements Scheme.
+func (PreorderUpDown) ChannelDir(cg *cgraph.CG, c int) Dir {
+	ch := &cg.Channels[c]
+	if cg.Tree.X[ch.To] < cg.Tree.X[ch.From] {
+		return UDUp
+	}
+	return UDDown
+}
+
+// FourDir is the 2D turn model's four-direction alphabet (the right/left
+// routing family): horizontal channels are folded into the up/down classes
+// by preorder order — a same-level channel toward a smaller X counts as
+// left-up, toward a larger X as right-down — so "up" means lexicographically
+// earlier in (Y, X).
+type FourDir struct{}
+
+// Four-direction alphabet.
+const (
+	FourLU Dir = iota
+	FourRU
+	FourLD
+	FourRD
+)
+
+// Name implements Scheme.
+func (FourDir) Name() string { return "4dir" }
+
+// NumDirs implements Scheme.
+func (FourDir) NumDirs() int { return 4 }
+
+// DirName implements Scheme.
+func (FourDir) DirName(d Dir) string {
+	switch d {
+	case FourLU:
+		return "LU"
+	case FourRU:
+		return "RU"
+	case FourLD:
+		return "LD"
+	case FourRD:
+		return "RD"
+	default:
+		return fmt.Sprintf("Dir(%d)", d)
+	}
+}
+
+// ChannelDir implements Scheme.
+func (FourDir) ChannelDir(cg *cgraph.CG, c int) Dir {
+	switch cg.Channels[c].Dir {
+	case cgraph.LUTree, cgraph.LUCross, cgraph.LCross:
+		return FourLU
+	case cgraph.RUCross:
+		return FourRU
+	case cgraph.LDCross:
+		return FourLD
+	case cgraph.RDTree, cgraph.RDCross, cgraph.RCross:
+		return FourRD
+	default:
+		panic("turnmodel: unhandled direction")
+	}
+}
+
+// FormatTurns renders a turn list using a scheme's direction names.
+func FormatTurns(s Scheme, ts []Turn) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = fmt.Sprintf("T(%s,%s)", s.DirName(t.From), s.DirName(t.To))
+	}
+	return strings.Join(parts, " ")
+}

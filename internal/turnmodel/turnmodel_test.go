@@ -1,0 +1,431 @@
+package turnmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cgraph"
+	"repro/internal/ctree"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+func buildCG(t *testing.T, g *topology.Graph, policy ctree.Policy) *cgraph.CG {
+	t.Helper()
+	tr, err := ctree.Build(g, policy, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cgraph.Build(tr)
+}
+
+// figure1CG reconstructs the paper's Figure 1 communication graph.
+func figure1CG(t *testing.T) *cgraph.CG {
+	t.Helper()
+	g := topology.Figure1()
+	parent := []int{-1, 4, 0, 0, 0, 2}
+	childOrder := [][]int{{4, 2, 3}, {}, {5}, {}, {1}, {}}
+	tr, err := ctree.FromParents(g, parent, childOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cgraph.Build(tr)
+}
+
+func TestNewMaskBasics(t *testing.T) {
+	m := NewMask(4, []Turn{{0, 1}, {2, 3}})
+	if m.Allowed(0, 1) || m.Allowed(2, 3) {
+		t.Fatal("prohibited turns still allowed")
+	}
+	if !m.Allowed(1, 0) || !m.Allowed(3, 2) || !m.Allowed(0, 2) {
+		t.Fatal("unrelated turns prohibited")
+	}
+	for d := Dir(0); d < 4; d++ {
+		if !m.Allowed(d, d) {
+			t.Fatalf("diagonal %d not allowed", d)
+		}
+	}
+}
+
+func TestMaskAllowForbid(t *testing.T) {
+	m := NewMask(3, nil)
+	m2 := m.Forbid(0, 1)
+	if m2.Allowed(0, 1) {
+		t.Fatal("Forbid had no effect")
+	}
+	if !m.Allowed(0, 1) {
+		t.Fatal("Forbid mutated receiver")
+	}
+	m3 := m2.Allow(0, 1)
+	if !m3.Allowed(0, 1) {
+		t.Fatal("Allow had no effect")
+	}
+}
+
+func TestMaskProhibitedTurns(t *testing.T) {
+	in := []Turn{{1, 0}, {0, 2}}
+	m := NewMask(3, in)
+	got := m.ProhibitedTurns(3)
+	if len(got) != 2 {
+		t.Fatalf("ProhibitedTurns = %v", got)
+	}
+	if got[0] != (Turn{0, 2}) || got[1] != (Turn{1, 0}) {
+		t.Fatalf("ProhibitedTurns = %v", got)
+	}
+}
+
+func TestNewMaskPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"zero dirs", func() { NewMask(0, nil) }},
+		{"too many dirs", func() { NewMask(9, nil) }},
+		{"diagonal turn", func() { NewMask(4, []Turn{{1, 1}}) }},
+		{"out of alphabet", func() { NewMask(2, []Turn{{0, 3}}) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			c.fn()
+		})
+	}
+}
+
+func TestEightDirMatchesCGraph(t *testing.T) {
+	cg := figure1CG(t)
+	s := EightDir{}
+	if s.NumDirs() != 8 || s.Name() != "8dir" {
+		t.Fatal("EightDir metadata wrong")
+	}
+	for c := range cg.Channels {
+		if s.ChannelDir(cg, c) != Dir(cg.Channels[c].Dir) {
+			t.Fatalf("channel %d misclassified", c)
+		}
+	}
+	if s.DirName(Dir(cgraph.LUTree)) != "LU_TREE" {
+		t.Fatal("DirName wrong")
+	}
+}
+
+func TestSixDirFolding(t *testing.T) {
+	cg := figure1CG(t)
+	s := SixDir{}
+	for c := range cg.Channels {
+		got := s.ChannelDir(cg, c)
+		switch cg.Channels[c].Dir {
+		case cgraph.LUTree, cgraph.LUCross:
+			if got != SixLU {
+				t.Fatalf("channel %d: %v", c, got)
+			}
+		case cgraph.RDTree, cgraph.RDCross:
+			if got != SixRD {
+				t.Fatalf("channel %d: %v", c, got)
+			}
+		case cgraph.RUCross:
+			if got != SixRU {
+				t.Fatalf("channel %d: %v", c, got)
+			}
+		case cgraph.LDCross:
+			if got != SixLD {
+				t.Fatalf("channel %d: %v", c, got)
+			}
+		case cgraph.LCross:
+			if got != SixL {
+				t.Fatalf("channel %d: %v", c, got)
+			}
+		case cgraph.RCross:
+			if got != SixR {
+				t.Fatalf("channel %d: %v", c, got)
+			}
+		}
+	}
+}
+
+func TestUpDownDirClassic(t *testing.T) {
+	// Ring(4) BFS tree from 0: levels 0,1,2,1 (0-1, 0-3 tree, 1-2 tree,
+	// 2-3 cross between levels 2 and 1).
+	cg := buildCG(t, topology.Ring(4), ctree.M1)
+	s := UpDownDir{}
+	tr := cg.Tree
+	for c := range cg.Channels {
+		ch := &cg.Channels[c]
+		up := s.ChannelDir(cg, c) == UDUp
+		lf, lt := tr.Level[ch.From], tr.Level[ch.To]
+		wantUp := lt < lf || (lt == lf && ch.To < ch.From)
+		if up != wantUp {
+			t.Fatalf("channel <%d,%d>: up=%v want %v", ch.From, ch.To, up, wantUp)
+		}
+	}
+	if s.DirName(UDUp) != "UP" || s.DirName(UDDown) != "DOWN" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestFourDirFolding(t *testing.T) {
+	cg := figure1CG(t)
+	s := FourDir{}
+	for c := range cg.Channels {
+		got := s.ChannelDir(cg, c)
+		switch cg.Channels[c].Dir {
+		case cgraph.LUTree, cgraph.LUCross, cgraph.LCross:
+			if got != FourLU {
+				t.Fatalf("channel %d: %v", c, got)
+			}
+		case cgraph.RDTree, cgraph.RDCross, cgraph.RCross:
+			if got != FourRD {
+				t.Fatalf("channel %d: %v", c, got)
+			}
+		case cgraph.RUCross:
+			if got != FourRU {
+				t.Fatalf("channel %d: %v", c, got)
+			}
+		case cgraph.LDCross:
+			if got != FourLD {
+				t.Fatalf("channel %d: %v", c, got)
+			}
+		}
+	}
+}
+
+func TestTurnAllowedUTurns(t *testing.T) {
+	cg := buildCG(t, topology.Line(3), ctree.M1)
+	sys := NewSystem(cg, EightDir{}, NewMask(8, nil))
+	c01, _ := cg.ChannelID(0, 1)
+	c10, _ := cg.ChannelID(1, 0)
+	c12, _ := cg.ChannelID(1, 2)
+	if sys.TurnAllowed(c01, c10) {
+		t.Fatal("U-turn allowed by default")
+	}
+	if !sys.TurnAllowed(c01, c12) {
+		t.Fatal("straight-through transition prohibited")
+	}
+	sys.AllowUTurn = true
+	if !sys.TurnAllowed(c01, c10) {
+		t.Fatal("U-turn still prohibited with AllowUTurn")
+	}
+}
+
+func TestSameDirectionAlwaysAllowed(t *testing.T) {
+	// Prohibit every distinct-direction turn; a straight tree descent must
+	// still be allowed (RD_TREE -> RD_TREE is not a DG edge).
+	cg := buildCG(t, topology.Line(4), ctree.M1)
+	var all []Turn
+	for a := Dir(0); a < 8; a++ {
+		for b := Dir(0); b < 8; b++ {
+			if a != b {
+				all = append(all, Turn{a, b})
+			}
+		}
+	}
+	sys := NewSystem(cg, EightDir{}, NewMask(8, all))
+	c01, _ := cg.ChannelID(0, 1)
+	c12, _ := cg.ChannelID(1, 2)
+	if !sys.TurnAllowed(c01, c12) {
+		t.Fatal("same-direction continuation prohibited")
+	}
+}
+
+// validateCycle checks that a reported cycle really is one: consecutive
+// channels chain head-to-tail, every transition is allowed, and it wraps.
+func validateCycle(t *testing.T, sys *System, cyc []int) {
+	t.Helper()
+	if len(cyc) < 2 {
+		t.Fatalf("degenerate cycle %v", cyc)
+	}
+	for i := range cyc {
+		c1 := cyc[i]
+		c2 := cyc[(i+1)%len(cyc)]
+		if sys.CG.Channels[c1].To != sys.CG.Channels[c2].From {
+			t.Fatalf("cycle breaks at %d: %s", i, sys.DescribeCycle(cyc))
+		}
+		if !sys.TurnAllowed(c1, c2) {
+			t.Fatalf("cycle uses prohibited turn at %d: %s", i, sys.DescribeCycle(cyc))
+		}
+	}
+}
+
+func TestFindTurnCycleRing(t *testing.T) {
+	cg := buildCG(t, topology.Ring(5), ctree.M1)
+	sys := NewSystem(cg, EightDir{}, NewMask(8, nil))
+	cyc := sys.FindTurnCycle()
+	if cyc == nil {
+		t.Fatal("unrestricted ring reported acyclic")
+	}
+	validateCycle(t, sys, cyc)
+}
+
+func TestFindTurnCycleFigure1Unrestricted(t *testing.T) {
+	cg := figure1CG(t)
+	sys := NewSystem(cg, EightDir{}, NewMask(8, nil))
+	cyc := sys.FindTurnCycle()
+	if cyc == nil {
+		t.Fatal("Figure 1 CG with all turns allowed must contain the paper's turn cycle")
+	}
+	validateCycle(t, sys, cyc)
+}
+
+func TestTreeIsAlwaysAcyclic(t *testing.T) {
+	// A tree topology has no cycles at all, so even the unrestricted
+	// configuration is turn-cycle-free (U-turns being excluded).
+	cg := buildCG(t, topology.CompleteBinaryTree(15), ctree.M1)
+	sys := NewSystem(cg, EightDir{}, NewMask(8, nil))
+	if !sys.Acyclic() {
+		t.Fatal("tree topology reported cyclic")
+	}
+}
+
+// TestFigure1fADDG replays the paper's Figure 1(f) observation: the ADDG
+// with only the two turns T(LD_CROSS,RD_TREE) and T(RD_TREE,LD_CROSS)
+// allowed contains a cycle as a direction graph, yet induces no turn cycle
+// in the communication graph.
+func TestFigure1fADDG(t *testing.T) {
+	cg := figure1CG(t)
+	var prohibited []Turn
+	for a := Dir(0); a < 8; a++ {
+		for b := Dir(0); b < 8; b++ {
+			if a == b {
+				continue
+			}
+			if a == Dir(cgraph.LDCross) && b == Dir(cgraph.RDTree) {
+				continue
+			}
+			if a == Dir(cgraph.RDTree) && b == Dir(cgraph.LDCross) {
+				continue
+			}
+			prohibited = append(prohibited, Turn{a, b})
+		}
+	}
+	sys := NewSystem(cg, EightDir{}, NewMask(8, prohibited))
+	if cyc := sys.FindTurnCycle(); cyc != nil {
+		t.Fatalf("Figure 1(f) configuration has a turn cycle: %s", sys.DescribeCycle(cyc))
+	}
+}
+
+func TestUpDownProhibitionsAcyclic(t *testing.T) {
+	// Classic up*/down*: prohibiting the single turn DOWN->UP breaks all
+	// cycles. Checked on several topologies.
+	graphs := []*topology.Graph{
+		topology.Ring(7),
+		topology.Petersen(),
+		topology.Torus2D(4, 4),
+		topology.Hypercube(4),
+		topology.Complete(6),
+	}
+	for _, g := range graphs {
+		cg := buildCG(t, g, ctree.M1)
+		sys := NewSystem(cg, UpDownDir{}, NewMask(2, []Turn{{UDDown, UDUp}}))
+		if cyc := sys.FindTurnCycle(); cyc != nil {
+			t.Fatalf("%v: up*/down* has a turn cycle: %s", g, sys.DescribeCycle(cyc))
+		}
+	}
+}
+
+func TestUpDownProhibitionsAcyclicRandom(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		g, err := topology.RandomIrregular(topology.IrregularConfig{Switches: 40, Ports: 5}, r.Split())
+		if err != nil {
+			return false
+		}
+		tr, err := ctree.Build(g, ctree.M2, r.Split())
+		if err != nil {
+			return false
+		}
+		cg := cgraph.Build(tr)
+		sys := NewSystem(cg, UpDownDir{}, NewMask(2, []Turn{{UDDown, UDUp}}))
+		return sys.Acyclic()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReachableChannels(t *testing.T) {
+	cg := buildCG(t, topology.Line(4), ctree.M1)
+	sys := NewSystem(cg, EightDir{}, NewMask(8, nil))
+	c01, _ := cg.ChannelID(0, 1)
+	c12, _ := cg.ChannelID(1, 2)
+	c23, _ := cg.ChannelID(2, 3)
+	c10, _ := cg.ChannelID(1, 0)
+	seen := sys.ReachableChannels(c01)
+	if !seen[c01] || !seen[c12] || !seen[c23] {
+		t.Fatal("forward chain not reachable")
+	}
+	if seen[c10] {
+		t.Fatal("reverse channel reachable despite U-turn exclusion")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	cg := buildCG(t, topology.Ring(4), ctree.M1)
+	sys := NewSystem(cg, EightDir{}, NewMask(8, nil))
+	c := sys.Clone()
+	c.Allowed[0] = c.Allowed[0].Forbid(0, 1)
+	if !sys.Allowed[0].Allowed(0, 1) {
+		t.Fatal("Clone shares mask storage")
+	}
+}
+
+func TestFormatTurns(t *testing.T) {
+	s := FormatTurns(UpDownDir{}, []Turn{{UDDown, UDUp}})
+	if s != "T(DOWN,UP)" {
+		t.Fatalf("FormatTurns = %q", s)
+	}
+	if FormatTurns(EightDir{}, nil) != "" {
+		t.Fatal("empty list should render empty")
+	}
+}
+
+func TestDescribeCycle(t *testing.T) {
+	cg := buildCG(t, topology.Ring(3), ctree.M1)
+	sys := NewSystem(cg, EightDir{}, NewMask(8, nil))
+	if sys.DescribeCycle(nil) != "(no cycle)" {
+		t.Fatal("nil cycle description wrong")
+	}
+	cyc := sys.FindTurnCycle()
+	if cyc == nil {
+		t.Fatal("triangle should have a cycle")
+	}
+	if sys.DescribeCycle(cyc) == "" {
+		t.Fatal("empty description")
+	}
+}
+
+func BenchmarkFindTurnCycle128x8(b *testing.B) {
+	g, err := topology.RandomIrregular(topology.DefaultIrregular(8), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := ctree.Build(g, ctree.M1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cg := cgraph.Build(tr)
+	sys := NewSystem(cg, UpDownDir{}, NewMask(2, []Turn{{UDDown, UDUp}}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !sys.Acyclic() {
+			b.Fatal("unexpected cycle")
+		}
+	}
+}
+
+// TestPreorderUpDownOnStar exercises the PreorderUpDown scheme's direction
+// assignment directly: channels toward smaller preorder rank are UP.
+func TestPreorderUpDownOnStar(t *testing.T) {
+	cg := buildCG(t, topology.Star(4), ctree.M1)
+	s := PreorderUpDown{}
+	for c := range cg.Channels {
+		ch := &cg.Channels[c]
+		up := s.ChannelDir(cg, c) == UDUp
+		wantUp := cg.Tree.X[ch.To] < cg.Tree.X[ch.From]
+		if up != wantUp {
+			t.Fatalf("channel <%d,%d>: up=%v want %v", ch.From, ch.To, up, wantUp)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package wormsim
+
+import (
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// FuzzConfig drives the simulator with arbitrary configurations on a small
+// verified network: it must either reject the config or complete without
+// panicking, and never deliver more flits than were created.
+func FuzzConfig(f *testing.F) {
+	f.Add(8, 2, 1, 0.1, 100, 500, 0, 0)
+	f.Add(1, 1, 1, 0.9, -1, 1000, 1, 1)
+	f.Add(128, 4, 8, 0.5, 50, 200, 2, 2)
+	f.Add(0, 0, 0, 0.0, 0, 0, 0, 0)
+	f.Add(16, -3, 9, 1.5, -5, -2, 99, 99)
+
+	g := topology.Petersen()
+	fn, tb := buildFn(f, g, routing.UpDown{})
+
+	f.Fuzz(func(t *testing.T, plen, depth, vcs int, rate float64, warmup, measure, mode, sel int) {
+		if measure > 20000 || measure < -10 || plen > 1<<16 || warmup > 20000 {
+			return // keep runtime bounded
+		}
+		cfg := Config{
+			PacketLength:    plen,
+			BufferDepth:     depth,
+			VirtualChannels: vcs,
+			InjectionRate:   rate,
+			Mode:            Mode(mode % 3),
+			Select:          Selection(sel % 3),
+			WarmupCycles:    warmup,
+			MeasureCycles:   measure,
+			Seed:            1,
+		}
+		sim, err := New(fn, tb, cfg)
+		if err != nil {
+			return // rejected: fine
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatalf("verified function reported %v under %+v", err, cfg)
+		}
+		created := int64(res.PacketsCreated) * int64(sim.cfg.PacketLength)
+		if res.FlitsDelivered < 0 || (res.FlitsDelivered > created && sim.cfg.WarmupCycles == 0) {
+			t.Fatalf("conservation violated: delivered %d, created %d", res.FlitsDelivered, created)
+		}
+	})
+}

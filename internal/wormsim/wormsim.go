@@ -1,0 +1,821 @@
+// Package wormsim is a flit-level, cycle-accurate simulator for wormhole-
+// switched irregular networks — the stand-in for the IRFlexSim0.5 simulator
+// the paper ran its evaluation on (the original C tool is no longer
+// available; DESIGN.md §3 documents the substitution).
+//
+// The model follows the paper's stated parameters:
+//
+//   - every switch connects to one processor through a dedicated port (one
+//     injection and one ejection channel);
+//   - a flit takes one clock to traverse a link and one clock to move from
+//     an input channel to an output channel through the switch — a routing
+//     header's clock through the switch is its routing/arbitration clock;
+//   - packets are PacketLength flits long (128 in the paper);
+//   - wormhole switching: a header allocates an output (virtual) channel
+//     and holds it until the packet's tail flit has been transmitted
+//     through it; flits of a packet never interleave with another packet
+//     on a virtual channel.
+//
+// Virtual channels are supported (the paper: the DOWN/UP routing "can be
+// directly applied to arbitrary topology with (or without) any virtual
+// channel"): each physical channel carries VirtualChannels independent
+// buffers; the physical wire transports one flit per clock, and flits move
+// out of a switch only when the downstream virtual-channel buffer has space
+// (credit-based flow control), so a blocked packet on one virtual channel
+// never blocks the wire for the others.
+//
+// Routing is either source-routed over a random legal shortest path chosen
+// at injection (the paper's methodology) or fully adaptive, choosing among
+// shortest-continuing channels hop by hop.
+//
+// The simulator is deterministic under a seed and collects exactly the
+// counters the paper's metrics need: per-output-channel flit counts,
+// delivered flits, and packet latencies, all restricted to a measurement
+// window that follows a warmup period.
+package wormsim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/cgraph"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/traffic"
+)
+
+// Mode selects how packets pick among legal shortest paths.
+type Mode int
+
+const (
+	// SourceRouted picks one random legal shortest path per packet at
+	// injection time (the paper's simulation methodology).
+	SourceRouted Mode = iota
+	// Adaptive lets the header choose, at every switch, uniformly among the
+	// currently free shortest-continuing output channels.
+	Adaptive
+	// Deterministic fixes one shortest legal path per (source, destination)
+	// pair — the first shortest continuation by channel id at every hop, so
+	// all packets of a pair share a path. This is how deterministic source
+	// routing (the style of the paper's reference [6]) behaves, and it
+	// isolates what the paper's random tie-breaking buys.
+	Deterministic
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Adaptive:
+		return "adaptive"
+	case Deterministic:
+		return "deterministic"
+	default:
+		return "source-routed"
+	}
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// PacketLength is the packet size in flits (default 128, the paper's).
+	PacketLength int
+	// BufferDepth is the per-virtual-channel input buffer size in flits.
+	// The default 4 covers the credit round-trip of the flow control (one
+	// clock switch + one clock link each way), which is the textbook
+	// minimum for sustaining one flit per clock; smaller depths are legal
+	// and throttle per-channel throughput (available for sensitivity
+	// studies).
+	BufferDepth int
+	// VirtualChannels is the number of virtual channels multiplexed over
+	// each physical channel (default 1 = plain wormhole, the paper's
+	// configuration).
+	VirtualChannels int
+	// InjectionRate is the offered load per node in flits/clock.
+	InjectionRate float64
+	// Pattern chooses packet destinations (default: uniform).
+	Pattern traffic.Pattern
+	// MeanBurst, when positive, switches the injection process from
+	// Bernoulli to an ON/OFF bursty source with this mean burst length in
+	// packets (same long-run rate; see traffic.BurstySource). Requires
+	// 0 < InjectionRate < 1.
+	MeanBurst int
+	// Mode selects source-routed (default) or adaptive path selection.
+	Mode Mode
+	// Select is the adaptive-mode selection function (default: random).
+	Select Selection
+	// WarmupCycles run before measurement starts (default 3000; use the
+	// NoWarmup sentinel to start measuring immediately — a zero value means
+	// "default", like the other fields).
+	WarmupCycles int
+	// MeasureCycles is the measurement window length (default 12000).
+	MeasureCycles int
+	// Seed drives all randomness (topology randomness is *not* included —
+	// the routing function is an input).
+	Seed uint64
+	// DeadlockThreshold aborts the run if no flit moves for this many
+	// cycles while flits are in flight (default 20000). A verified routing
+	// function never trips it; it exists to catch — and to demonstrate, in
+	// tests — deadlocks under broken turn configurations.
+	DeadlockThreshold int
+	// Trace, if non-nil, receives one CSV line per packet delivered during
+	// the measurement window: pkt,src,dst,created,injected,delivered,hops.
+	// A header line is written first. Tracing costs one formatted write per
+	// packet; leave nil for performance runs.
+	Trace io.Writer
+}
+
+// Selection chooses among the free candidate output channels in Adaptive
+// mode (the "selection function" of the adaptive-routing literature; with
+// SourceRouted or Deterministic modes it is ignored).
+type Selection int
+
+const (
+	// SelectRandom picks uniformly among free candidates (default).
+	SelectRandom Selection = iota
+	// SelectFirst picks the lowest-numbered free candidate; cheap in
+	// hardware but concentrates load.
+	SelectFirst
+	// SelectLeastLoaded picks the free candidate whose downstream buffer
+	// has the most space (ties broken by index), the classic congestion-
+	// aware selection.
+	SelectLeastLoaded
+)
+
+func (s Selection) String() string {
+	switch s {
+	case SelectFirst:
+		return "first"
+	case SelectLeastLoaded:
+		return "least-loaded"
+	default:
+		return "random"
+	}
+}
+
+// NoWarmup requests an explicitly empty warmup period (a WarmupCycles of
+// zero selects the default instead).
+const NoWarmup = -1
+
+func (c Config) withDefaults() Config {
+	if c.PacketLength == 0 {
+		c.PacketLength = 128
+	}
+	if c.BufferDepth == 0 {
+		c.BufferDepth = 4
+	}
+	if c.VirtualChannels == 0 {
+		c.VirtualChannels = 1
+	}
+	switch c.WarmupCycles {
+	case 0:
+		c.WarmupCycles = 3000
+	case NoWarmup:
+		c.WarmupCycles = 0
+	}
+	if c.MeasureCycles == 0 {
+		c.MeasureCycles = 12000
+	}
+	if c.DeadlockThreshold == 0 {
+		c.DeadlockThreshold = 20000
+	}
+	return c
+}
+
+func (c Config) validate(n int) error {
+	if c.PacketLength < 1 {
+		return fmt.Errorf("wormsim: PacketLength %d < 1", c.PacketLength)
+	}
+	if c.BufferDepth < 1 {
+		return fmt.Errorf("wormsim: BufferDepth %d < 1", c.BufferDepth)
+	}
+	if c.VirtualChannels < 1 || c.VirtualChannels > 8 {
+		return fmt.Errorf("wormsim: VirtualChannels %d outside [1,8]", c.VirtualChannels)
+	}
+	if c.InjectionRate < 0 {
+		return fmt.Errorf("wormsim: negative InjectionRate")
+	}
+	if c.WarmupCycles < 0 || c.MeasureCycles <= 0 {
+		return fmt.Errorf("wormsim: bad cycle counts (warmup %d, measure %d)",
+			c.WarmupCycles, c.MeasureCycles)
+	}
+	if n < 2 {
+		return fmt.Errorf("wormsim: need at least 2 switches, got %d", n)
+	}
+	return nil
+}
+
+// Result carries the counters of one run.
+type Result struct {
+	// Cycles is the total simulated cycle count (warmup + measurement).
+	Cycles int
+	// MeasuredCycles is the measurement window length.
+	MeasuredCycles int
+	// PacketsCreated counts packets generated during the window.
+	PacketsCreated int
+	// PacketsDelivered counts packets whose tail flit was delivered during
+	// the window.
+	PacketsDelivered int
+	// FlitsDelivered counts flits delivered during the window.
+	FlitsDelivered int64
+	// AcceptedTraffic is delivered flits per clock per node during the
+	// window — the paper's throughput metric.
+	AcceptedTraffic float64
+	// OfferedTraffic is created flits per clock per node during the window.
+	OfferedTraffic float64
+	// AvgLatency is the mean, over packets delivered in the window, of
+	// (tail delivery cycle - packet creation cycle) — the paper's message
+	// latency ("since the packet transmission is initiated at a node until
+	// the packet is received"), which includes source queueing.
+	AvgLatency float64
+	// AvgNetworkLatency excludes source queueing (header injection to tail
+	// delivery).
+	AvgNetworkLatency float64
+	// MaxLatency is the largest single-packet latency in the window.
+	MaxLatency int
+	// MinLatency is the smallest single-packet latency in the window (0 if
+	// nothing was delivered); with light load it equals the uncontended
+	// pipeline latency PacketLength + 2*hops + 3.
+	MinLatency int
+	// ChannelFlits[c] counts flits that crossed switch-to-switch channel c
+	// (cgraph channel id, summed over its virtual channels) during the
+	// window; feed it to metrics.ComputeNodeStats.
+	ChannelFlits []int64
+	// InFlightAtEnd is the number of flits still in the network when the
+	// run ended (diagnostics; grows with saturation).
+	InFlightAtEnd int
+	// SourceQueuePeak is the largest number of packets any node's source
+	// queue held at once over the whole run — the backpressure the network
+	// pushed into the sources (explodes past saturation).
+	SourceQueuePeak int
+	// P50Latency, P95Latency, and P99Latency are latency percentiles over
+	// packets delivered in the window (0 if nothing was delivered). Mean
+	// latency hides the tail; under contention the tail is the story.
+	P50Latency int
+	P95Latency int
+	P99Latency int
+}
+
+// flit is one flow-control unit in a buffer or on a wire.
+type flit struct {
+	pkt     int32
+	idx     int32
+	arrived int32 // cycle the flit entered its current resting place
+}
+
+// ring is a tiny fixed-capacity FIFO of flits.
+type ring struct {
+	buf  []flit
+	head int
+	size int
+}
+
+func (r *ring) full() bool   { return r.size == len(r.buf) }
+func (r *ring) empty() bool  { return r.size == 0 }
+func (r *ring) front() *flit { return &r.buf[r.head] }
+func (r *ring) push(f flit)  { r.buf[(r.head+r.size)%len(r.buf)] = f; r.size++ }
+func (r *ring) pop() flit {
+	f := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.size--
+	return f
+}
+
+// packet is one in-flight message.
+type packet struct {
+	src, dst  int32
+	length    int32
+	created   int32
+	injected  int32 // cycle the header entered the injection channel; -1 until then
+	sentFlits int32 // flits handed to the injection channel so far
+	route     []int32
+	hop       int32 // next route index the header will use (source-routed)
+	hops      int32 // switch-to-switch channels traversed by the header
+}
+
+const (
+	noOwner = int32(-1)
+	noVCL   = int32(-1)
+)
+
+// Simulator runs wormhole simulations for one routing function. Create one
+// with New and call Run; a Simulator is single-use.
+//
+// Internal geometry: physical "wires" are indexed 0..nCh-1 (switch-to-
+// switch channels, matching cgraph channel ids), then nCh..nCh+n-1
+// (injection) and nCh+n..nCh+2n-1 (ejection). Virtual-channel lanes
+// ("vclanes") are indexed c*nVC+v for switch-to-switch channel c and
+// injection/ejection appended after (those always have one lane).
+type Simulator struct {
+	cfg   Config
+	fn    *routing.Function
+	tb    routing.PathSource
+	cg    *cgraph.CG
+	n     int // switches
+	nCh   int // switch-to-switch channels
+	nVC   int
+	wires int // nCh + 2n physical transport resources
+	vcls  int // nCh*nVC + 2n virtual-channel lanes
+
+	bufs      []ring  // per vclane; ejection lanes have no buffer (nil buf)
+	wire      []flit  // one register per wire
+	wireVCL   []int32 // target vclane of the flit on each wire
+	wireFull  []bool
+	owner     []int32   // output allocation per vclane
+	nextOut   []int32   // per input vclane: output vclane held by the packet streaming through
+	rr        []int     // per switch round-robin pointer
+	inVCLs    [][]int32 // per switch: its input vclanes (channel VCs + injection)
+	packets   []packet
+	queues    [][]int32 // per node source queue of packet ids
+	qHead     []int
+	sources   []traffic.Generator
+	pathRng   []*rng.Rng
+	arbRng    *rng.Rng
+	candBuf   []int
+	freeBuf   []int32
+	latencies []int32 // per delivered packet in the window
+	now       int32
+	lastMove  int32
+	inFlight  int // flits currently inside the network (not source queues)
+
+	measuring bool
+
+	// TraceMove, if non-nil, is called whenever a flit is placed on a wire
+	// (switch output, injection, or ejection crossing), with the target
+	// vclane. Tests use it to assert wormhole invariants; it must not
+	// mutate the simulator.
+	TraceMove func(vclane, pkt, idx int32)
+
+	res Result
+}
+
+// New prepares a simulator for the routing function fn, using tb for path
+// selection — normally routing.NewTable(fn) (sharing one table across runs
+// amortizes its construction), or a fib.Router to simulate against compiled
+// forwarding tables. The function must already be verified — New rejects
+// nil inputs but does not re-run the expensive verification.
+func New(fn *routing.Function, tb routing.PathSource, cfg Config) (*Simulator, error) {
+	if fn == nil || tb == nil {
+		return nil, fmt.Errorf("wormsim: nil routing function or table")
+	}
+	cfg = cfg.withDefaults()
+	cg := fn.CG()
+	if err := cfg.validate(cg.N()); err != nil {
+		return nil, err
+	}
+	n := cg.N()
+	nCh := cg.NumChannels()
+	nVC := cfg.VirtualChannels
+	s := &Simulator{
+		cfg:   cfg,
+		fn:    fn,
+		tb:    tb,
+		cg:    cg,
+		n:     n,
+		nCh:   nCh,
+		nVC:   nVC,
+		wires: nCh + 2*n,
+		vcls:  nCh*nVC + 2*n,
+	}
+	s.bufs = make([]ring, s.vcls)
+	for l := 0; l < nCh*nVC+n; l++ { // ejection lanes carry no buffer
+		s.bufs[l].buf = make([]flit, cfg.BufferDepth)
+	}
+	s.wire = make([]flit, s.wires)
+	s.wireVCL = make([]int32, s.wires)
+	s.wireFull = make([]bool, s.wires)
+	s.owner = make([]int32, s.vcls)
+	s.nextOut = make([]int32, s.vcls)
+	for i := range s.owner {
+		s.owner[i] = noOwner
+		s.nextOut[i] = noVCL
+	}
+	s.rr = make([]int, n)
+	s.inVCLs = make([][]int32, n)
+	for v := 0; v < n; v++ {
+		lanes := make([]int32, 0, len(cg.In[v])*nVC+1)
+		for _, c := range cg.In[v] {
+			for vc := 0; vc < nVC; vc++ {
+				lanes = append(lanes, int32(c*nVC+vc))
+			}
+		}
+		lanes = append(lanes, s.injVCL(v))
+		s.inVCLs[v] = lanes
+	}
+	s.queues = make([][]int32, n)
+	s.qHead = make([]int, n)
+	s.sources = make([]traffic.Generator, n)
+	s.pathRng = make([]*rng.Rng, n)
+	root := rng.New(cfg.Seed)
+	pattern := cfg.Pattern
+	if pattern == nil {
+		pattern = traffic.Uniform{N: n}
+	}
+	for v := 0; v < n; v++ {
+		var src traffic.Generator
+		var err error
+		if cfg.MeanBurst > 0 {
+			src, err = traffic.NewBurstySource(v, cfg.InjectionRate, cfg.MeanBurst, cfg.PacketLength, pattern, root.Split())
+		} else {
+			src, err = traffic.NewSource(v, cfg.InjectionRate, cfg.PacketLength, pattern, root.Split())
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.sources[v] = src
+		s.pathRng[v] = root.Split()
+	}
+	s.arbRng = root.Split()
+	s.res.ChannelFlits = make([]int64, nCh)
+	return s, nil
+}
+
+// Geometry helpers.
+
+// injVCL returns node v's injection vclane.
+func (s *Simulator) injVCL(v int) int32 { return int32(s.nCh*s.nVC + v) }
+
+// ejectVCL returns node v's ejection vclane.
+func (s *Simulator) ejectVCL(v int) int32 { return int32(s.nCh*s.nVC + s.n + v) }
+
+// vclWire returns the physical wire transporting a vclane's flits.
+func (s *Simulator) vclWire(vcl int32) int32 {
+	if int(vcl) < s.nCh*s.nVC {
+		return vcl / int32(s.nVC)
+	}
+	return vcl - int32(s.nCh*s.nVC) + int32(s.nCh)
+}
+
+// vclChannel returns the cgraph channel of a switch-to-switch vclane, or
+// -1 for injection/ejection lanes.
+func (s *Simulator) vclChannel(vcl int32) int {
+	if int(vcl) < s.nCh*s.nVC {
+		return int(vcl) / s.nVC
+	}
+	return -1
+}
+
+// Run executes the configured warmup and measurement and returns the
+// counters. It returns an error only for simulated deadlock.
+func (s *Simulator) Run() (*Result, error) {
+	if s.cfg.Trace != nil {
+		if _, err := fmt.Fprintln(s.cfg.Trace, "pkt,src,dst,created,injected,delivered,hops"); err != nil {
+			return nil, fmt.Errorf("wormsim: writing trace header: %w", err)
+		}
+	}
+	total := s.cfg.WarmupCycles + s.cfg.MeasureCycles
+	for c := 0; c < total; c++ {
+		s.now++
+		s.measuring = c >= s.cfg.WarmupCycles
+		s.deliver()
+		s.linkStage()
+		s.switchStage()
+		s.feedInjection()
+		s.generate()
+		if s.inFlight > 0 && s.now-s.lastMove > int32(s.cfg.DeadlockThreshold) {
+			return nil, fmt.Errorf("wormsim: deadlock detected at cycle %d (%d flits frozen for %d cycles) under %s",
+				s.now, s.inFlight, s.cfg.DeadlockThreshold, s.fn.AlgorithmName)
+		}
+	}
+	s.finish(total)
+	return &s.res, nil
+}
+
+func (s *Simulator) finish(total int) {
+	s.res.Cycles = total
+	s.res.MeasuredCycles = s.cfg.MeasureCycles
+	denom := float64(s.cfg.MeasureCycles) * float64(s.n)
+	s.res.AcceptedTraffic = float64(s.res.FlitsDelivered) / denom
+	s.res.OfferedTraffic = float64(s.res.PacketsCreated) * float64(s.cfg.PacketLength) / denom
+	if s.res.PacketsDelivered > 0 {
+		s.res.AvgLatency /= float64(s.res.PacketsDelivered)
+		s.res.AvgNetworkLatency /= float64(s.res.PacketsDelivered)
+	}
+	s.res.InFlightAtEnd = s.inFlight
+	if len(s.latencies) > 0 {
+		sort.Slice(s.latencies, func(i, j int) bool { return s.latencies[i] < s.latencies[j] })
+		pct := func(p float64) int {
+			i := int(p * float64(len(s.latencies)-1))
+			return int(s.latencies[i])
+		}
+		s.res.P50Latency = pct(0.50)
+		s.res.P95Latency = pct(0.95)
+		s.res.P99Latency = pct(0.99)
+	}
+}
+
+// deliver drains ejection wires: the processor consumes one flit per clock
+// per ejection channel.
+func (s *Simulator) deliver() {
+	for v := 0; v < s.n; v++ {
+		w := s.vclWire(s.ejectVCL(v))
+		if !s.wireFull[w] || s.wire[w].arrived >= s.now {
+			continue
+		}
+		f := s.wire[w]
+		s.wireFull[w] = false
+		s.inFlight--
+		s.lastMove = s.now
+		p := &s.packets[f.pkt]
+		if s.measuring {
+			s.res.FlitsDelivered++
+		}
+		if f.idx == p.length-1 { // tail: packet complete
+			if s.measuring {
+				s.res.PacketsDelivered++
+				lat := int(s.now - p.created)
+				s.res.AvgLatency += float64(lat)
+				s.res.AvgNetworkLatency += float64(s.now - p.injected)
+				if lat > s.res.MaxLatency {
+					s.res.MaxLatency = lat
+				}
+				if s.res.MinLatency == 0 || lat < s.res.MinLatency {
+					s.res.MinLatency = lat
+				}
+				s.latencies = append(s.latencies, int32(lat))
+			}
+			if s.cfg.Trace != nil && s.measuring {
+				fmt.Fprintf(s.cfg.Trace, "%d,%d,%d,%d,%d,%d,%d\n",
+					f.pkt, p.src, p.dst, p.created, p.injected, s.now, p.hops)
+			}
+			p.route = nil // release path memory
+		}
+	}
+}
+
+// linkStage moves flits from wires into the downstream virtual-channel
+// buffers (one clock of link delay). Buffer space was reserved when the
+// flit entered the wire (credit-based flow control), so the push cannot
+// fail.
+func (s *Simulator) linkStage() {
+	for w := 0; w < s.nCh+s.n; w++ { // ejection wires drain in deliver
+		if !s.wireFull[w] || s.wire[w].arrived >= s.now {
+			continue
+		}
+		b := &s.bufs[s.wireVCL[w]]
+		if b.full() {
+			// Credit accounting guarantees space; a full buffer here is a
+			// simulator bug, not a network condition.
+			panic("wormsim: wire delivered into a full buffer (credit accounting broken)")
+		}
+		f := s.wire[w]
+		f.arrived = s.now
+		b.push(f)
+		s.wireFull[w] = false
+		s.lastMove = s.now
+	}
+}
+
+// switchStage moves buffer-head flits through the crossbars: headers route
+// and allocate output virtual channels; body flits follow their packet's
+// channel.
+func (s *Simulator) switchStage() {
+	for v := 0; v < s.n; v++ {
+		lanes := s.inVCLs[v]
+		k := len(lanes)
+		if k == 0 {
+			continue
+		}
+		start := s.rr[v] % k
+		s.rr[v]++
+		for i := 0; i < k; i++ {
+			s.tryForward(v, lanes[(start+i)%k])
+		}
+	}
+}
+
+// canAccept reports whether a flit may be placed on out's wire right now:
+// the wire register is free and the downstream buffer has space (ejection
+// lanes have no buffer; the processor always consumes).
+func (s *Simulator) canAccept(out int32) bool {
+	if s.wireFull[s.vclWire(out)] {
+		return false
+	}
+	if int(out) >= s.nCh*s.nVC+s.n { // ejection
+		return true
+	}
+	return !s.bufs[out].full()
+}
+
+// tryForward attempts to advance the head flit of input vclane li at
+// switch v.
+func (s *Simulator) tryForward(v int, li int32) {
+	b := &s.bufs[li]
+	if b.empty() {
+		return
+	}
+	f := b.front()
+	if f.arrived >= s.now {
+		return
+	}
+	out := s.nextOut[li]
+	if f.idx == 0 {
+		// Header: needs routing + output allocation (its one clock through
+		// the switch is the routing/arbitration clock).
+		out = s.routeHeader(v, li, f)
+		if out == noVCL {
+			return // blocked: desired output(s) busy
+		}
+	}
+	if out == noVCL || !s.canAccept(out) {
+		return
+	}
+	p := &s.packets[f.pkt]
+	fl := b.pop()
+	fl.arrived = s.now
+	w := s.vclWire(out)
+	s.wire[w] = fl
+	s.wireVCL[w] = out
+	s.wireFull[w] = true
+	s.lastMove = s.now
+	if ch := s.vclChannel(out); ch >= 0 {
+		if s.measuring {
+			s.res.ChannelFlits[ch]++
+		}
+		if fl.idx == 0 {
+			p.hops++
+		}
+	}
+	if s.TraceMove != nil {
+		s.TraceMove(out, fl.pkt, fl.idx)
+	}
+	if fl.idx == 0 {
+		s.nextOut[li] = out
+	}
+	if fl.idx == p.length-1 {
+		// Tail transmitted: release the output virtual channel and the
+		// input lane's packet binding.
+		s.owner[out] = noOwner
+		s.nextOut[li] = noVCL
+	}
+}
+
+// routeHeader picks and allocates an output vclane for a header flit at
+// switch v that arrived on vclane li, or returns noVCL if it must wait.
+func (s *Simulator) routeHeader(v int, li int32, f *flit) int32 {
+	p := &s.packets[f.pkt]
+	if int32(v) == p.dst {
+		out := s.ejectVCL(v)
+		if s.owner[out] != noOwner || !s.canAccept(out) {
+			return noVCL
+		}
+		s.owner[out] = f.pkt
+		return out
+	}
+	switch s.cfg.Mode {
+	case SourceRouted, Deterministic:
+		ch := p.route[p.hop]
+		out := s.allocVC(int(ch), f.pkt)
+		if out == noVCL {
+			return noVCL
+		}
+		p.hop++
+		return out
+	default: // Adaptive
+		state := routing.InjectionState(v)
+		if ch := s.vclChannel(li); ch >= 0 {
+			state = ch
+		}
+		s.candBuf = s.tb.NextChannels(int(p.dst), state, s.candBuf[:0])
+		s.freeBuf = s.freeBuf[:0]
+		for _, c := range s.candBuf {
+			for vc := 0; vc < s.nVC; vc++ {
+				out := int32(c*s.nVC + vc)
+				if s.owner[out] == noOwner && s.canAccept(out) {
+					s.freeBuf = append(s.freeBuf, out)
+					break // one free VC per candidate channel is enough
+				}
+			}
+		}
+		if len(s.freeBuf) == 0 {
+			return noVCL
+		}
+		out := s.selectVCL(s.freeBuf)
+		s.owner[out] = f.pkt
+		return out
+	}
+}
+
+// selectVCL applies the configured selection function to a non-empty set
+// of free candidate vclanes.
+func (s *Simulator) selectVCL(free []int32) int32 {
+	switch s.cfg.Select {
+	case SelectFirst:
+		best := free[0]
+		for _, c := range free[1:] {
+			if c < best {
+				best = c
+			}
+		}
+		return best
+	case SelectLeastLoaded:
+		best := free[0]
+		bestSpace := s.cfg.BufferDepth - s.bufs[best].size
+		for _, c := range free[1:] {
+			if space := s.cfg.BufferDepth - s.bufs[c].size; space > bestSpace {
+				best, bestSpace = c, space
+			}
+		}
+		return best
+	default:
+		return free[s.arbRng.Intn(len(free))]
+	}
+}
+
+// allocVC claims the first free, currently-acceptable virtual channel of a
+// switch-to-switch channel for a header, or returns noVCL.
+func (s *Simulator) allocVC(ch int, pkt int32) int32 {
+	for vc := 0; vc < s.nVC; vc++ {
+		out := int32(ch*s.nVC + vc)
+		if s.owner[out] == noOwner && s.canAccept(out) {
+			s.owner[out] = pkt
+			return out
+		}
+	}
+	return noVCL
+}
+
+// feedInjection streams the head packet of each source queue into the
+// node's injection channel, one flit per clock.
+func (s *Simulator) feedInjection() {
+	for v := 0; v < s.n; v++ {
+		q := s.queues[v]
+		h := s.qHead[v]
+		if h >= len(q) {
+			continue
+		}
+		l := s.injVCL(v)
+		w := s.vclWire(l)
+		if s.wireFull[w] || s.bufs[l].full() {
+			continue
+		}
+		pid := q[h]
+		p := &s.packets[pid]
+		if p.sentFlits == 0 {
+			p.injected = s.now
+		}
+		s.wire[w] = flit{pkt: pid, idx: p.sentFlits, arrived: s.now}
+		s.wireVCL[w] = l
+		s.wireFull[w] = true
+		s.inFlight++
+		s.lastMove = s.now
+		if s.TraceMove != nil {
+			s.TraceMove(l, pid, p.sentFlits)
+		}
+		p.sentFlits++
+		if p.sentFlits == p.length {
+			s.qHead[v]++
+			// Compact the queue occasionally to bound memory.
+			if s.qHead[v] > 1024 && s.qHead[v]*2 > len(q) {
+				s.queues[v] = append(s.queues[v][:0], q[s.qHead[v]:]...)
+				s.qHead[v] = 0
+			}
+		}
+	}
+}
+
+// generate creates new packets per the Bernoulli injection process.
+func (s *Simulator) generate() {
+	for v := 0; v < s.n; v++ {
+		dst, ok := s.sources[v].Tick()
+		if !ok {
+			continue
+		}
+		p := packet{
+			src:      int32(v),
+			dst:      int32(dst),
+			length:   int32(s.cfg.PacketLength),
+			created:  s.now,
+			injected: -1,
+		}
+		switch s.cfg.Mode {
+		case SourceRouted:
+			path, err := s.tb.SamplePath(v, dst, s.pathRng[v])
+			if err != nil {
+				// Verified functions cannot produce this; treat it as a
+				// programming error.
+				panic(err)
+			}
+			p.route = make([]int32, len(path))
+			for i, c := range path {
+				p.route[i] = int32(c)
+			}
+		case Deterministic:
+			path, err := s.tb.FixedPath(v, dst)
+			if err != nil {
+				panic(err)
+			}
+			p.route = make([]int32, len(path))
+			for i, c := range path {
+				p.route[i] = int32(c)
+			}
+		}
+		id := int32(len(s.packets))
+		s.packets = append(s.packets, p)
+		s.queues[v] = append(s.queues[v], id)
+		if depth := len(s.queues[v]) - s.qHead[v]; depth > s.res.SourceQueuePeak {
+			s.res.SourceQueuePeak = depth
+		}
+		if s.measuring {
+			s.res.PacketsCreated++
+		}
+	}
+}

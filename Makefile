@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench paper quick verify examples fuzz clean
+.PHONY: all build test race bench paper quick verify examples faults fuzz clean
 
 all: build test
 
@@ -41,11 +41,20 @@ examples:
 	$(GO) run ./examples/virtualchannels
 	$(GO) run ./examples/reconfigure
 
-# Short fuzzing passes over the parsers and the simulator config surface.
+# The deterministic fault-tolerance sweep; writes the table into results/.
+# Regenerating reproduces results/fault_sweep.txt byte for byte.
+faults:
+	mkdir -p results
+	$(GO) run ./cmd/irfault > results/fault_sweep.txt
+	@cat results/fault_sweep.txt
+
+# Short fuzzing passes over the parsers, the simulator config surface, and
+# whole faulted runs (flit conservation under failures + reconfiguration).
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=10s ./internal/topology/
 	$(GO) test -run=^$$ -fuzz=FuzzParseTopology -fuzztime=10s ./internal/cliutil/
 	$(GO) test -run=^$$ -fuzz=FuzzConfig -fuzztime=10s ./internal/wormsim/
+	$(GO) test -run=^$$ -fuzz=FuzzFaultRun -fuzztime=30s ./internal/fault/
 
 clean:
 	rm -f results/*.svg results/*.csv results/*.txt

@@ -28,7 +28,7 @@ func binaries(t *testing.T) string {
 		if buildErr != nil {
 			return
 		}
-		for _, cmd := range []string{"irtopo", "irroute", "irsim", "irexp", "irverify", "irtrace"} {
+		for _, cmd := range []string{"irtopo", "irroute", "irsim", "irexp", "irverify", "irtrace", "irfault"} {
 			out, err := exec.Command("go", "build", "-o", filepath.Join(binDir, cmd), "repro/cmd/"+cmd).CombinedOutput()
 			if err != nil {
 				buildErr = err
@@ -179,6 +179,22 @@ func TestIrverifySmoke(t *testing.T) {
 	}
 }
 
+func TestIrfaultSmoke(t *testing.T) {
+	args := []string{"-switches", "16", "-samples", "1", "-plen", "8",
+		"-warmup", "300", "-measure", "2500", "-links", "0,2"}
+	out := run(t, "irfault", args...)
+	for _, want := range []string{"Fault sweep", "recovery", "drain", "drop", "recoverCy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("irfault output missing %q:\n%s", want, out)
+		}
+	}
+	// The acceptance bar for the fault subsystem: the sweep is byte-identical
+	// across invocations of the same flags.
+	if again := run(t, "irfault", args...); again != out {
+		t.Fatalf("irfault output not deterministic:\n%s\n---\n%s", out, again)
+	}
+}
+
 func TestBadFlagsFail(t *testing.T) {
 	dir := binaries(t)
 	cases := [][]string{
@@ -187,6 +203,8 @@ func TestBadFlagsFail(t *testing.T) {
 		{"irsim", "-pattern", "bogus"},
 		{"irexp", "-exp", "bogus", "-quiet"},
 		{"irsim", "-mode", "bogus"},
+		{"irfault", "-recovery", "bogus"},
+		{"irfault", "-links", "1,x"},
 	}
 	for _, c := range cases {
 		cmd := exec.Command(filepath.Join(dir, c[0]), c[1:]...)

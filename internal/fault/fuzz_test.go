@@ -1,0 +1,95 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ctree"
+	"repro/internal/rng"
+	"repro/internal/topology"
+	"repro/internal/wormsim"
+)
+
+// FuzzFaultRun fuzzes whole faulted runs and checks the flit conservation
+// law: injected == delivered + dropped + in-flight, whatever combination of
+// link kills, switch kills, drains, drops, and rewires the schedule
+// produced. The checked-in corpus under testdata/fuzz/FuzzFaultRun pins the
+// interesting regions (switch loss, adaptive drop recovery, dense failure
+// windows); `make fuzz` explores beyond them.
+func FuzzFaultRun(f *testing.F) {
+	f.Add(uint64(3), 16, 4, 2, 1, 0.05, 0, 0, uint64(42))
+	f.Add(uint64(5), 20, 4, 3, 0, 0.1, 0, 1, uint64(7))
+	f.Add(uint64(8), 12, 5, 1, 2, 0.02, 1, 1, uint64(31))
+	f.Add(uint64(1), 6, 3, 0, 1, 0.15, 2, 0, uint64(9))
+	f.Add(uint64(11), 24, 6, 4, 0, 0.08, 0, 0, uint64(1))
+
+	f.Fuzz(func(t *testing.T, topoSeed uint64, switches, ports, links, swFails int, rate float64, mode, recovery int, schedSeed uint64) {
+		// Clamp to a bounded, always-meaningful region: the fuzz explores
+		// fault interleavings, not config validation (FuzzConfig's job).
+		switches = 4 + abs(switches)%21
+		ports = 3 + abs(ports)%4
+		links = abs(links) % 5
+		swFails = abs(swFails) % 3
+		if rate < 0 {
+			rate = -rate
+		}
+		rate = 0.01 + float64(int(rate*1000)%150)/1000
+		m := wormsim.Mode(abs(mode) % 3)
+		rec := RecoveryPolicy(abs(recovery) % 2)
+		if m == wormsim.Adaptive {
+			rec = Drop // drain is rejected for adaptive traffic
+		}
+
+		g, err := topology.RandomIrregular(topology.IrregularConfig{Switches: switches, Ports: ports}, rng.New(topoSeed))
+		if err != nil {
+			return
+		}
+		sched, err := Random(g, ScheduleConfig{Links: links, Switches: swFails, From: 100, To: 2500}, rng.New(schedSeed))
+		if err != nil {
+			return // this topology cannot absorb that many failures
+		}
+		opts := Options{
+			Algorithm: core.DownUp{},
+			Policy:    ctree.Policy(int(topoSeed) % 3),
+			TreeSeed:  schedSeed,
+			Recovery:  rec,
+			Sim: wormsim.Config{
+				PacketLength:  8,
+				InjectionRate: rate,
+				Mode:          m,
+				WarmupCycles:  wormsim.NoWarmup,
+				MeasureCycles: 3000,
+				Seed:          topoSeed ^ schedSeed,
+			},
+		}
+		res, err := Run(g, sched, opts)
+		if err != nil {
+			t.Fatalf("faulted run failed under %+v / %v: %v", opts, sched, err)
+		}
+		// Run checks conservation internally; assert it independently so the
+		// fuzz target survives refactors of Run.
+		if err := res.Sim.CheckConservation(); err != nil {
+			t.Fatal(err)
+		}
+		if res.Sim.FlitsDeliveredTotal > res.Sim.FlitsInjected {
+			t.Fatalf("delivered %d > injected %d", res.Sim.FlitsDeliveredTotal, res.Sim.FlitsInjected)
+		}
+		var evDropped int64
+		for _, ev := range res.Events {
+			if ev.FlitsDropped < 0 || ev.PacketsDropped < 0 || ev.PacketsUnroutable < 0 {
+				t.Fatalf("negative loss counters: %+v", ev)
+			}
+			evDropped += ev.FlitsDropped
+		}
+		if evDropped > res.Sim.FlitsDropped {
+			t.Fatalf("events account for %d dropped flits, simulator only %d", evDropped, res.Sim.FlitsDropped)
+		}
+	})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,116 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/cgraph"
+	"repro/internal/rng"
+	"repro/internal/routing"
+)
+
+// remapSource adapts a routing table built on the compacted surviving
+// topology to the id space of the original simulation: the simulator keeps
+// the communication graph it was created with (dead channels merely stop
+// accepting flits), while each rebuild produces a fresh graph with its own
+// node and channel numbering. The adapter translates on the way in (states,
+// endpoints) and on the way out (channel ids), so the simulator never sees
+// a surviving-graph id.
+type remapSource struct {
+	inner routing.PathSource
+	// o2nNode[origNode] is the surviving-graph node id, -1 if dead.
+	o2nNode []int
+	// o2nCh[origChannel] is the surviving-graph channel id, -1 if dead.
+	o2nCh []int
+	// n2oCh[survivingChannel] is the original channel id.
+	n2oCh []int
+
+	scratch []int
+}
+
+var _ routing.PathSource = (*remapSource)(nil)
+
+// newRemap builds the adapter. o2nNode maps original node ids to the
+// surviving graph's compacted ids (-1 for dead switches), n2oNode the
+// reverse. Every surviving-graph channel must exist in orig.
+func newRemap(orig, sub *cgraph.CG, o2nNode, n2oNode []int, inner routing.PathSource) (*remapSource, error) {
+	rm := &remapSource{
+		inner:   inner,
+		o2nNode: o2nNode,
+		o2nCh:   make([]int, orig.NumChannels()),
+		n2oCh:   make([]int, sub.NumChannels()),
+	}
+	for i := range rm.o2nCh {
+		rm.o2nCh[i] = -1
+	}
+	for i := range sub.Channels {
+		c := &sub.Channels[i]
+		oid, ok := orig.ChannelID(n2oNode[c.From], n2oNode[c.To])
+		if !ok {
+			return nil, fmt.Errorf("fault: surviving channel <%d,%d> not in the original graph",
+				n2oNode[c.From], n2oNode[c.To])
+		}
+		rm.n2oCh[i] = oid
+		rm.o2nCh[oid] = i
+	}
+	return rm, nil
+}
+
+// SamplePath implements routing.PathSource in original ids.
+func (rm *remapSource) SamplePath(src, dst int, r *rng.Rng) ([]int, error) {
+	ns, nd := rm.o2nNode[src], rm.o2nNode[dst]
+	if ns < 0 || nd < 0 {
+		return nil, fmt.Errorf("fault: %d unreachable from %d (dead switch)", dst, src)
+	}
+	path, err := rm.inner.SamplePath(ns, nd, r)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range path {
+		path[i] = rm.n2oCh[c]
+	}
+	return path, nil
+}
+
+// FixedPath implements routing.PathSource in original ids.
+func (rm *remapSource) FixedPath(src, dst int) ([]int, error) {
+	ns, nd := rm.o2nNode[src], rm.o2nNode[dst]
+	if ns < 0 || nd < 0 {
+		return nil, fmt.Errorf("fault: %d unreachable from %d (dead switch)", dst, src)
+	}
+	path, err := rm.inner.FixedPath(ns, nd)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range path {
+		path[i] = rm.n2oCh[c]
+	}
+	return path, nil
+}
+
+// NextChannels implements routing.PathSource in original ids. An empty
+// result signals unreachability, exactly as Table does.
+func (rm *remapSource) NextChannels(dst, state int, buf []int) []int {
+	nd := rm.o2nNode[dst]
+	if nd < 0 {
+		return buf
+	}
+	var nstate int
+	if state < 0 {
+		nv := rm.o2nNode[^state]
+		if nv < 0 {
+			return buf
+		}
+		nstate = routing.InjectionState(nv)
+	} else {
+		nc := rm.o2nCh[state]
+		if nc < 0 {
+			return buf // arrived on a now-dead channel; caller drops such packets
+		}
+		nstate = nc
+	}
+	rm.scratch = rm.inner.NextChannels(nd, nstate, rm.scratch[:0])
+	for _, c := range rm.scratch {
+		buf = append(buf, rm.n2oCh[c])
+	}
+	return buf
+}

@@ -175,3 +175,36 @@ func (w *Welford) Min() float64 { return w.min }
 
 // Max returns the largest observation (0 before any observation).
 func (w *Welford) Max() float64 { return w.max }
+
+// Recovery aggregates fault-recovery metrics over one faulted simulation
+// run: what the failures cost (dropped and unroutable packets, pairs cut
+// off) and how long the network took to resume service after each
+// reconfiguration.
+type Recovery struct {
+	// Faults is the number of fault events applied.
+	Faults int
+	// PacketsDropped counts packets removed because a failure severed them
+	// (in-flight on a dead channel, or route through one).
+	PacketsDropped int
+	// FlitsDropped counts the in-network flits those packets lost.
+	FlitsDropped int64
+	// PacketsUnroutable counts packets discarded at their source because no
+	// route to their destination survived.
+	PacketsUnroutable int
+	// UnreachablePairs is the number of ordered (src, dst) pairs cut off by
+	// the faults at the end of the run (nonzero only for switch failures or
+	// disconnecting link failures).
+	UnreachablePairs int
+	// CyclesToRecover accumulates, per fault event, the cycles from the
+	// failure until traffic resumed (drain + rebuild under the static
+	// reconfiguration model).
+	CyclesToRecover Welford
+}
+
+// AddEvent folds one fault event's cost into the aggregate.
+func (r *Recovery) AddEvent(packetsDropped int, flitsDropped int64, cyclesToRecover int) {
+	r.Faults++
+	r.PacketsDropped += packetsDropped
+	r.FlitsDropped += flitsDropped
+	r.CyclesToRecover.Add(float64(cyclesToRecover))
+}

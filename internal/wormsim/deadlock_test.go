@@ -1,0 +1,114 @@
+package wormsim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cgraph"
+	"repro/internal/ctree"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/turnmodel"
+)
+
+// unrestrictedRing builds the cyclic-routing setup of TestDeadlockDetection:
+// a ring under a routing function with no prohibited turns, the canonical
+// wormhole deadlock.
+func unrestrictedRing(t *testing.T, n int) (*routing.Function, *routing.Table) {
+	t.Helper()
+	tr, err := ctree.Build(topology.Ring(n), ctree.M1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := cgraph.Build(tr)
+	sys := turnmodel.NewSystem(cg, turnmodel.EightDir{}, turnmodel.NewMask(8, nil))
+	f := &routing.Function{AlgorithmName: "unrestricted", Sys: sys}
+	return f, routing.NewTable(f)
+}
+
+// TestDeadlockDiagnostic checks the structured side of watchdog aborts: a
+// cyclic routing function must produce a *DeadlockError carrying a non-empty
+// wait-for cycle of blocked virtual channels, and the partial Result must
+// carry the same diagnostic.
+func TestDeadlockDiagnostic(t *testing.T) {
+	f, tb := unrestrictedRing(t, 4)
+	sim, err := New(f, tb, Config{
+		PacketLength:      64,
+		BufferDepth:       2,
+		InjectionRate:     0.8,
+		WarmupCycles:      NoWarmup,
+		MeasureCycles:     50000,
+		DeadlockThreshold: 1000,
+		Seed:              1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err == nil {
+		t.Fatal("unrestricted ring at high load did not deadlock")
+	}
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("error is %T, want *DeadlockError: %v", err, err)
+	}
+	info := dl.Info
+	if info == nil {
+		t.Fatal("DeadlockError without Info")
+	}
+	if res == nil || res.Deadlock != info {
+		t.Fatal("partial Result does not carry the deadlock diagnostic")
+	}
+	if info.FrozenFlits <= 0 {
+		t.Fatalf("diagnostic reports %d frozen flits", info.FrozenFlits)
+	}
+	if info.FrozenFor < 1000 {
+		t.Fatalf("diagnostic reports FrozenFor=%d, threshold was 1000", info.FrozenFor)
+	}
+	// The defining property of a wormhole deadlock: a cycle in the wait-for
+	// graph over virtual channels. At least two VCs must wait on each other.
+	if len(info.Cycle) < 2 {
+		t.Fatalf("deadlock cycle has %d entries, want >= 2: %+v", len(info.Cycle), info.Cycle)
+	}
+	cg := f.CG()
+	seen := make(map[int]bool)
+	for _, b := range info.Cycle {
+		if b.Packet < 0 {
+			t.Fatalf("cycle entry without an owning packet: %+v", b)
+		}
+		if b.Channel >= 0 {
+			if b.Channel >= len(cg.Channels) {
+				t.Fatalf("cycle entry channel %d out of range", b.Channel)
+			}
+			if seen[b.Channel*8+b.VC] {
+				t.Fatalf("cycle repeats lane %d.%d", b.Channel, b.VC)
+			}
+			seen[b.Channel*8+b.VC] = true
+		}
+	}
+	if info.DescribeCycle() == "" {
+		t.Fatal("empty cycle description")
+	}
+	if len(info.Blocked) < len(info.Cycle) {
+		t.Fatalf("Blocked (%d) smaller than Cycle (%d)", len(info.Blocked), len(info.Cycle))
+	}
+}
+
+// TestVerifiedFunctionsCarryNoDiagnostic pins the negative: a verified
+// function's run ends with a nil Result.Deadlock.
+func TestVerifiedFunctionsCarryNoDiagnostic(t *testing.T) {
+	f, tb := randomFn(t, 11, 12, 4, routing.UpDown{})
+	res := run(t, f, tb, Config{
+		PacketLength:  16,
+		InjectionRate: 0.05,
+		WarmupCycles:  200,
+		MeasureCycles: 2000,
+		Seed:          5,
+	})
+	if res.Deadlock != nil {
+		t.Fatalf("verified function produced a deadlock diagnostic: %+v", res.Deadlock)
+	}
+	if err := res.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}

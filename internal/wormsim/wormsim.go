@@ -155,6 +155,13 @@ func (s Selection) String() string {
 // zero selects the default instead).
 const NoWarmup = -1
 
+// TotalCycles returns the run length (warmup + measurement) after default
+// resolution — the cycle budget a fault-injection driver schedules against.
+func (c Config) TotalCycles() int {
+	c = c.withDefaults()
+	return c.WarmupCycles + c.MeasureCycles
+}
+
 func (c Config) withDefaults() Config {
 	if c.PacketLength == 0 {
 		c.PacketLength = 128
@@ -252,6 +259,39 @@ type Result struct {
 	P50Latency int
 	P95Latency int
 	P99Latency int
+	// FlitsInjected counts every flit placed on an injection channel over
+	// the whole run (warmup included) — the left-hand side of the flit
+	// conservation law checked by CheckConservation.
+	FlitsInjected int64
+	// FlitsDeliveredTotal counts flits delivered over the whole run (warmup
+	// included), unlike FlitsDelivered which is window-restricted.
+	FlitsDeliveredTotal int64
+	// PacketsDropped and FlitsDropped count packets removed by fault
+	// injection (KillChannel/KillLink/KillSwitch) and the in-network flits
+	// they had at removal time. Zero on fault-free runs.
+	PacketsDropped int
+	FlitsDropped   int64
+	// PacketsUnroutable counts packets discarded at their source because no
+	// legal route to their destination existed — possible only after faults
+	// (a verified routing function connects all pairs).
+	PacketsUnroutable int
+	// Deadlock carries the structured diagnostic when the deadlock watchdog
+	// fired: the cycle (or set) of blocked virtual channels. It is nil on
+	// clean runs. When set, the rest of the Result is partial (the run was
+	// aborted).
+	Deadlock *DeadlockInfo
+}
+
+// CheckConservation verifies the flit conservation law of a finished run:
+// every injected flit is delivered, dropped by a fault, or still in flight.
+// A violation is a simulator bug, never a network condition.
+func (r *Result) CheckConservation() error {
+	want := r.FlitsDeliveredTotal + r.FlitsDropped + int64(r.InFlightAtEnd)
+	if r.FlitsInjected != want {
+		return fmt.Errorf("wormsim: flit conservation violated: injected %d != delivered %d + dropped %d + in-flight %d",
+			r.FlitsInjected, r.FlitsDeliveredTotal, r.FlitsDropped, r.InFlightAtEnd)
+	}
+	return nil
 }
 
 // flit is one flow-control unit in a buffer or on a wire.
@@ -286,6 +326,8 @@ type packet struct {
 	created   int32
 	injected  int32 // cycle the header entered the injection channel; -1 until then
 	sentFlits int32 // flits handed to the injection channel so far
+	delivered int32 // flits consumed by the destination processor so far
+	dropped   bool  // removed by fault injection; skip on every path
 	route     []int32
 	hop       int32 // next route index the header will use (source-routed)
 	hops      int32 // switch-to-switch channels traversed by the header
@@ -337,6 +379,13 @@ type Simulator struct {
 	inFlight  int // flits currently inside the network (not source queues)
 
 	measuring bool
+	cycle     int  // completed cycles (warmup + measurement so far)
+	started   bool // first RunCycles call happened (trace header written)
+	finished  bool
+	paused    bool // injection of new packets suspended (draining)
+	faulted   bool // at least one fault was injected
+	deadWire  []bool // per physical wire: killed by fault injection
+	deadNode  []bool // per switch: killed by fault injection
 
 	// TraceMove, if non-nil, is called whenever a flit is placed on a wire
 	// (switch output, injection, or ejection crossing), with the target
@@ -424,6 +473,8 @@ func New(fn *routing.Function, tb routing.PathSource, cfg Config) (*Simulator, e
 		s.pathRng[v] = root.Split()
 	}
 	s.arbRng = root.Split()
+	s.deadWire = make([]bool, s.wires)
+	s.deadNode = make([]bool, n)
 	s.res.ChannelFlits = make([]int64, nCh)
 	return s, nil
 }
@@ -454,29 +505,68 @@ func (s *Simulator) vclChannel(vcl int32) int {
 }
 
 // Run executes the configured warmup and measurement and returns the
-// counters. It returns an error only for simulated deadlock.
+// counters. It returns an error for simulated deadlock (a *DeadlockError
+// carrying the blocked-channel diagnostic, also available via
+// Result.Deadlock) or a trace write failure; on error the returned Result
+// holds the partial counters accumulated so far.
 func (s *Simulator) Run() (*Result, error) {
-	if s.cfg.Trace != nil {
-		if _, err := fmt.Fprintln(s.cfg.Trace, "pkt,src,dst,created,injected,delivered,hops"); err != nil {
-			return nil, fmt.Errorf("wormsim: writing trace header: %w", err)
+	total := s.cfg.WarmupCycles + s.cfg.MeasureCycles
+	if err := s.RunCycles(total - s.cycle); err != nil {
+		return &s.res, err
+	}
+	return s.Finish(), nil
+}
+
+// Cycle returns the number of cycles simulated so far.
+func (s *Simulator) Cycle() int { return s.cycle }
+
+// InFlight returns the number of flits currently inside the network.
+func (s *Simulator) InFlight() int { return s.inFlight }
+
+// RunCycles advances the simulation by k cycles. It is the incremental form
+// of Run, used by fault-injection drivers that interleave simulation with
+// topology changes: warmup/measurement bookkeeping is shared with Run, and
+// the deadlock watchdog stays armed. It returns a *DeadlockError if the
+// watchdog fires.
+func (s *Simulator) RunCycles(k int) error {
+	if s.finished {
+		return fmt.Errorf("wormsim: RunCycles after Finish")
+	}
+	if !s.started {
+		s.started = true
+		if s.cfg.Trace != nil {
+			if _, err := fmt.Fprintln(s.cfg.Trace, "pkt,src,dst,created,injected,delivered,hops"); err != nil {
+				return fmt.Errorf("wormsim: writing trace header: %w", err)
+			}
 		}
 	}
-	total := s.cfg.WarmupCycles + s.cfg.MeasureCycles
-	for c := 0; c < total; c++ {
+	measureEnd := s.cfg.WarmupCycles + s.cfg.MeasureCycles
+	for i := 0; i < k; i++ {
+		s.cycle++
 		s.now++
-		s.measuring = c >= s.cfg.WarmupCycles
+		s.measuring = s.cycle > s.cfg.WarmupCycles && s.cycle <= measureEnd
 		s.deliver()
 		s.linkStage()
 		s.switchStage()
 		s.feedInjection()
 		s.generate()
 		if s.inFlight > 0 && s.now-s.lastMove > int32(s.cfg.DeadlockThreshold) {
-			return nil, fmt.Errorf("wormsim: deadlock detected at cycle %d (%d flits frozen for %d cycles) under %s",
-				s.now, s.inFlight, s.cfg.DeadlockThreshold, s.fn.AlgorithmName)
+			info := s.deadlockInfo()
+			s.res.Deadlock = info
+			return &DeadlockError{Info: info}
 		}
 	}
-	s.finish(total)
-	return &s.res, nil
+	return nil
+}
+
+// Finish computes the derived metrics and returns the final Result. It is
+// idempotent; Run calls it automatically.
+func (s *Simulator) Finish() *Result {
+	if !s.finished {
+		s.finished = true
+		s.finish(s.cycle)
+	}
+	return &s.res
 }
 
 func (s *Simulator) finish(total int) {
@@ -515,6 +605,8 @@ func (s *Simulator) deliver() {
 		s.inFlight--
 		s.lastMove = s.now
 		p := &s.packets[f.pkt]
+		p.delivered++
+		s.res.FlitsDeliveredTotal++
 		if s.measuring {
 			s.res.FlitsDelivered++
 		}
@@ -583,10 +675,11 @@ func (s *Simulator) switchStage() {
 }
 
 // canAccept reports whether a flit may be placed on out's wire right now:
-// the wire register is free and the downstream buffer has space (ejection
-// lanes have no buffer; the processor always consumes).
+// the wire register is free, not killed by a fault, and the downstream
+// buffer has space (ejection lanes have no buffer; the processor always
+// consumes).
 func (s *Simulator) canAccept(out int32) bool {
-	if s.wireFull[s.vclWire(out)] {
+	if w := s.vclWire(out); s.wireFull[w] || s.deadWire[w] {
 		return false
 	}
 	if int(out) >= s.nCh*s.nVC+s.n { // ejection
@@ -737,25 +830,38 @@ func (s *Simulator) allocVC(ch int, pkt int32) int32 {
 // node's injection channel, one flit per clock.
 func (s *Simulator) feedInjection() {
 	for v := 0; v < s.n; v++ {
+		if s.deadNode[v] {
+			continue
+		}
 		q := s.queues[v]
+		// Skip packets dropped by fault injection while queued.
+		for s.qHead[v] < len(q) && s.packets[q[s.qHead[v]]].dropped {
+			s.qHead[v]++
+		}
 		h := s.qHead[v]
 		if h >= len(q) {
 			continue
 		}
 		l := s.injVCL(v)
 		w := s.vclWire(l)
-		if s.wireFull[w] || s.bufs[l].full() {
+		if s.wireFull[w] || s.deadWire[w] || s.bufs[l].full() {
 			continue
 		}
 		pid := q[h]
 		p := &s.packets[pid]
 		if p.sentFlits == 0 {
+			if s.paused {
+				// Static draining: packets already streaming finish, new
+				// ones wait for the reconfiguration to complete.
+				continue
+			}
 			p.injected = s.now
 		}
 		s.wire[w] = flit{pkt: pid, idx: p.sentFlits, arrived: s.now}
 		s.wireVCL[w] = l
 		s.wireFull[w] = true
 		s.inFlight++
+		s.res.FlitsInjected++
 		s.lastMove = s.now
 		if s.TraceMove != nil {
 			s.TraceMove(l, pid, p.sentFlits)
@@ -775,6 +881,9 @@ func (s *Simulator) feedInjection() {
 // generate creates new packets per the Bernoulli injection process.
 func (s *Simulator) generate() {
 	for v := 0; v < s.n; v++ {
+		if s.deadNode[v] {
+			continue
+		}
 		dst, ok := s.sources[v].Tick()
 		if !ok {
 			continue
@@ -790,9 +899,15 @@ func (s *Simulator) generate() {
 		case SourceRouted:
 			path, err := s.tb.SamplePath(v, dst, s.pathRng[v])
 			if err != nil {
-				// Verified functions cannot produce this; treat it as a
+				// After a fault the destination may be legitimately
+				// unreachable (a dead switch); on a fault-free run a
+				// verified function cannot produce this, so it is a
 				// programming error.
-				panic(err)
+				if !s.faulted {
+					panic(err)
+				}
+				s.res.PacketsUnroutable++
+				continue
 			}
 			p.route = make([]int32, len(path))
 			for i, c := range path {
@@ -801,11 +916,23 @@ func (s *Simulator) generate() {
 		case Deterministic:
 			path, err := s.tb.FixedPath(v, dst)
 			if err != nil {
-				panic(err)
+				if !s.faulted {
+					panic(err)
+				}
+				s.res.PacketsUnroutable++
+				continue
 			}
 			p.route = make([]int32, len(path))
 			for i, c := range path {
 				p.route[i] = int32(c)
+			}
+		default: // Adaptive: probe reachability so a packet to a dead
+			// switch never enters the network and wanders forever.
+			if s.faulted {
+				if s.candBuf = s.tb.NextChannels(dst, routing.InjectionState(v), s.candBuf[:0]); len(s.candBuf) == 0 {
+					s.res.PacketsUnroutable++
+					continue
+				}
 			}
 		}
 		id := int32(len(s.packets))

@@ -26,6 +26,7 @@ import (
 	"repro/internal/cgraph"
 	"repro/internal/core"
 	"repro/internal/ctree"
+	"repro/internal/fault"
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/rng"
@@ -308,3 +309,68 @@ const (
 	Table3 = harness.Table3
 	Table4 = harness.Table4
 )
+
+// Fault-injection and reconfiguration types (package fault).
+type (
+	// FaultSchedule scripts link/switch failures at given cycles.
+	FaultSchedule = fault.Schedule
+	// FaultEvent is one scripted failure.
+	FaultEvent = fault.Event
+	// FaultScheduleConfig parameterizes RandomFaultSchedule.
+	FaultScheduleConfig = fault.ScheduleConfig
+	// FaultRunOptions configures one faulted simulation.
+	FaultRunOptions = fault.Options
+	// FaultRunResult is one faulted simulation's outcome.
+	FaultRunResult = fault.Result
+	// RecoveryPolicy selects drain or drop recovery.
+	RecoveryPolicy = fault.RecoveryPolicy
+	// DeadlockInfo is the structured diagnostic of a watchdog abort: which
+	// virtual channels wait on which, and the cycle among them.
+	DeadlockInfo = wormsim.DeadlockInfo
+	// DeadlockError wraps DeadlockInfo as the simulator's error.
+	DeadlockError = wormsim.DeadlockError
+)
+
+// Fault kinds and recovery policies.
+const (
+	// LinkDown fails one bidirectional link.
+	LinkDown = fault.LinkDown
+	// SwitchDown fails one switch and everything incident to it.
+	SwitchDown = fault.SwitchDown
+	// DrainRecovery pauses injection and drains in-flight traffic under the
+	// old routing before installing the rebuilt one (static draining
+	// reconfiguration).
+	DrainRecovery = fault.Drain
+	// DropRecovery discards in-flight traffic and resumes immediately.
+	DropRecovery = fault.Drop
+)
+
+// RandomFaultSchedule generates a deterministic connectivity-preserving
+// failure schedule for g.
+func RandomFaultSchedule(g *Graph, cfg FaultScheduleConfig, seed uint64) (*FaultSchedule, error) {
+	return fault.Random(g, cfg, rng.New(seed))
+}
+
+// RunFaulted executes one simulation under a failure schedule, recovering
+// after each failure by rebuilding the coordinated tree and routing function
+// on the surviving topology.
+func RunFaulted(g *Graph, sched *FaultSchedule, opts FaultRunOptions) (*FaultRunResult, error) {
+	return fault.Run(g, sched, opts)
+}
+
+// FaultStudyOptions configures the fault-tolerance sweep.
+type FaultStudyOptions = harness.FaultOptions
+
+// FaultStudyResults is the fault-tolerance sweep output.
+type FaultStudyResults = harness.FaultResults
+
+// DefaultFaultOptions returns the default fault sweep configuration.
+func DefaultFaultOptions() FaultStudyOptions { return harness.DefaultFaultOptions() }
+
+// RunFaultStudy sweeps failure counts and compares recovery policies.
+func RunFaultStudy(opts FaultStudyOptions) (*FaultStudyResults, error) {
+	return harness.FaultStudy(opts)
+}
+
+// FormatFaults renders a fault study as text.
+func FormatFaults(r *FaultStudyResults) string { return harness.FormatFaults(r) }

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench paper quick verify examples faults fuzz clean
+.PHONY: all build test race bench paper quick verify examples faults recovery fuzz clean
 
 all: build test
 
@@ -21,9 +21,15 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # The full paper-scale evaluation; writes text, CSV, and SVG into results/.
+# The checkpoint makes the hours-long sweep crash-safe: completed
+# simulations are recorded as they finish, and rerunning `make paper`
+# after an interruption resumes instead of restarting (delete the
+# checkpoint, or `make clean`, to force a fresh run). -keepgoing degrades
+# individual failed simulations to an explicit skipped section.
 paper:
 	mkdir -p results
-	$(GO) run ./cmd/irexp -exp all -scale paper \
+	$(GO) run ./cmd/irexp -exp all -scale paper -keepgoing \
+		-checkpoint results/paper_checkpoint.jsonl \
 		-csv results/paper_results.csv -svg results > results/paper_output.txt
 
 quick:
@@ -48,6 +54,15 @@ faults:
 	$(GO) run ./cmd/irfault > results/fault_sweep.txt
 	@cat results/fault_sweep.txt
 
+# The deterministic recovery study: immediate (non-draining) live
+# reconfiguration with the online deadlock detector breaking the resulting
+# mixed-generation wait-for cycles. Regenerating reproduces
+# results/recovery_sweep.txt byte for byte.
+recovery:
+	mkdir -p results
+	$(GO) run ./cmd/irfault -study recovery > results/recovery_sweep.txt
+	@cat results/recovery_sweep.txt
+
 # Short fuzzing passes over the parsers, the simulator config surface, and
 # whole faulted runs (flit conservation under failures + reconfiguration).
 fuzz:
@@ -55,6 +70,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzParseTopology -fuzztime=10s ./internal/cliutil/
 	$(GO) test -run=^$$ -fuzz=FuzzConfig -fuzztime=10s ./internal/wormsim/
 	$(GO) test -run=^$$ -fuzz=FuzzFaultRun -fuzztime=30s ./internal/fault/
+	$(GO) test -run=^$$ -fuzz=FuzzRecoveryRun -fuzztime=20s ./internal/fault/
 
 clean:
-	rm -f results/*.svg results/*.csv results/*.txt
+	rm -f results/*.svg results/*.csv results/*.txt results/*.jsonl

@@ -205,6 +205,14 @@ func TestBadFlagsFail(t *testing.T) {
 		{"irsim", "-mode", "bogus"},
 		{"irfault", "-recovery", "bogus"},
 		{"irfault", "-links", "1,x"},
+		{"irsim", "-topo", "ring:8", "-alg", "unrestricted"}, // refuses unverified without -recover
+		{"irsim", "-topo", "ring:8", "-recover", "-max-retries", "-1"},
+		{"irsim", "-topo", "ring:8", "-recover", "-detect-interval", "-1"},
+		{"irsim", "-topo", "ring:8", "-livelock", "-2"},
+		{"irfault", "-study", "bogus"},
+		{"irfault", "-study", "recovery", "-recovery", "drop"},
+		{"irfault", "-study", "sweep", "-detect-interval", "10"},
+		{"irexp", "-deadline", "-1s", "-quiet"},
 	}
 	for _, c := range cases {
 		cmd := exec.Command(filepath.Join(dir, c[0]), c[1:]...)

@@ -8,8 +8,16 @@
 //	irexp -exp figure8 -ports 4
 //	irexp -exp tables -csv results.csv
 //	irexp -exp ablation
+//	irexp -exp all -scale paper -checkpoint ck.jsonl -keepgoing
 //
 // Output goes to stdout; -csv additionally writes the raw observations.
+//
+// Long runs can be hardened: -checkpoint records every completed
+// simulation in a JSONL file so an interrupted run resumes where it left
+// off (a checkpoint written under different options is ignored);
+// -deadline bounds each simulation's wall-clock time; -keepgoing turns
+// failed simulations into an explicit "skipped" section instead of
+// aborting the sweep.
 package main
 
 import (
@@ -39,6 +47,10 @@ func main() {
 		csvPath  = flag.String("csv", "", "also write raw observations to this CSV file")
 		svgDir   = flag.String("svg", "", "also write figure8-<ports>port.svg charts to this directory")
 		quiet    = flag.Bool("quiet", false, "suppress progress lines")
+
+		deadline   = flag.Duration("deadline", 0, "wall-clock bound per simulation (0 = none)")
+		checkpoint = flag.String("checkpoint", "", "JSONL checkpoint path: completed simulations are recorded and a rerun resumes from them")
+		keepGoing  = flag.Bool("keepgoing", false, "degrade failed simulations to a skipped section instead of aborting the run")
 	)
 	flag.Parse()
 
@@ -80,6 +92,9 @@ func main() {
 	if !*quiet {
 		opts.Progress = os.Stderr
 	}
+	opts.CellDeadline = *deadline
+	opts.Checkpoint = *checkpoint
+	opts.KeepGoing = *keepGoing
 	if *exp == "ablation" {
 		opts.Algorithms = []routing.Algorithm{
 			irnet.DownUp(), irnet.DownUpNoRelease(),
@@ -119,10 +134,17 @@ func main() {
 	start := time.Now()
 	res, err := irnet.RunEvaluation(opts)
 	if err != nil {
+		if msg, ok := cliutil.Diagnose(err); ok {
+			fmt.Fprint(os.Stderr, "irexp: "+msg)
+			os.Exit(1)
+		}
 		log.Fatal(err)
 	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "irexp: evaluation finished in %v\n", time.Since(start).Round(time.Millisecond))
+		if res.Resumed > 0 {
+			fmt.Fprintf(os.Stderr, "irexp: resumed %d completed simulation(s) from %s\n", res.Resumed, *checkpoint)
+		}
 	}
 
 	switch *exp {
@@ -146,6 +168,9 @@ func main() {
 		fmt.Println(irnet.FormatSummary(res))
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
+	}
+	if skipped := irnet.FormatSkipped(res); skipped != "" {
+		fmt.Println(skipped)
 	}
 
 	if *svgDir != "" {

@@ -8,9 +8,21 @@
 //
 // Usage:
 //
-//	irfault [-switches 32] [-ports 4] [-samples 3] [-seed 11] [-policy M1]
-//	        [-alg DOWN/UP] [-rate 0.08] [-plen 32] [-warmup 1000]
-//	        [-measure 8000] [-links 0,1,2,4] [-recovery drain,drop]
+//	irfault [-study sweep] [-switches 32] [-ports 4] [-samples 3] [-seed 11]
+//	        [-policy M1] [-alg DOWN/UP] [-rate 0.08] [-plen 32]
+//	        [-warmup 1000] [-measure 8000] [-links 0,1,2,4]
+//	        [-recovery drain,drop,immediate]
+//	irfault -study recovery [-detect-interval 512] [-max-retries 4]
+//	        [-backoff 64] [...]
+//
+// -study recovery runs the immediate-reconfiguration study instead: every
+// rebuild rewires routing without draining or dropping, the simulator's
+// online deadlock detector breaks the resulting mixed-generation wait-for
+// cycles, and the table reports deadlock frequency and recovery cost per
+// failure count. Flags left at their defaults fall back to the study's own
+// tuned defaults (deadlocks are rare events; the tuned sweep exhibits
+// them). On deadlock or livelock failures irfault exits non-zero with a
+// structured diagnostic on stderr.
 //
 // The output is deterministic in the flags: two invocations with the same
 // flags print byte-identical tables.
@@ -20,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 
@@ -31,6 +44,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("irfault: ")
 	var (
+		study    = flag.String("study", "sweep", "study to run: sweep (drain/drop policy comparison) or recovery (immediate reconfiguration under online recovery)")
 		switches = flag.Int("switches", 32, "switch count for the random networks")
 		ports    = flag.Int("ports", 4, "ports per switch")
 		samples  = flag.Int("samples", 3, "random networks per sweep point")
@@ -42,9 +56,15 @@ func main() {
 		warmup   = flag.Int("warmup", 1000, "warmup cycles")
 		measure  = flag.Int("measure", 8000, "measurement cycles")
 		links    = flag.String("links", "0,1,2,4", "comma-separated sweep of link-failure counts")
-		recovery = flag.String("recovery", "drain,drop", "comma-separated recovery policies (drain, drop)")
+		recovery = flag.String("recovery", "drain,drop", "comma-separated recovery policies for -study sweep (drain, drop, immediate)")
+		detect   = flag.Int("detect-interval", 0, "online detector scan period for -study recovery (0 = default)")
+		retries  = flag.Int("max-retries", 0, "abort/re-inject bound per packet for -study recovery (0 = default)")
+		backoff  = flag.Int("backoff", 0, "base re-injection backoff for -study recovery (0 = default)")
 	)
 	flag.Parse()
+
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
 	alg := irnet.AlgorithmByName(*algName)
 	if alg == nil {
@@ -58,6 +78,70 @@ func main() {
 	if err != nil {
 		log.Fatalf("-links: %v", err)
 	}
+
+	switch *study {
+	case "sweep":
+		if set["detect-interval"] || set["max-retries"] || set["backoff"] {
+			log.Fatal("-detect-interval, -max-retries, and -backoff apply to -study recovery only")
+		}
+		runSweep(alg, pol, sweep, switches, ports, samples, seed, rate, plen, warmup, measure, recovery)
+	case "recovery":
+		if set["recovery"] {
+			log.Fatal("-recovery applies to -study sweep only (the recovery study always reconfigures immediately)")
+		}
+		// Flags left at their defaults keep the study's tuned values, so a
+		// bare `irfault -study recovery` runs the canonical sweep.
+		opts := irnet.DefaultRecoveryStudyOptions()
+		if set["switches"] {
+			opts.Switches = *switches
+		}
+		if set["ports"] {
+			opts.Ports = *ports
+		}
+		if set["samples"] {
+			opts.Samples = *samples
+		}
+		if set["alg"] {
+			opts.Algorithm = alg
+		}
+		if set["policy"] {
+			opts.Policy = pol
+		}
+		if set["links"] {
+			opts.LinkFailures = sweep
+		}
+		if set["rate"] {
+			opts.InjectionRate = *rate
+		}
+		if set["plen"] {
+			opts.PacketLength = *plen
+		}
+		if set["warmup"] {
+			opts.WarmupCycles = *warmup
+		}
+		if set["measure"] {
+			opts.MeasureCycles = *measure
+		}
+		if set["seed"] {
+			opts.Seed = *seed
+		}
+		opts.DetectInterval = *detect
+		opts.MaxRetries = *retries
+		opts.RetryBackoff = *backoff
+
+		res, err := irnet.RunRecoveryStudy(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(irnet.FormatRecovery(res))
+	default:
+		log.Fatalf("unknown study %q (want sweep or recovery)", *study)
+	}
+}
+
+func runSweep(alg irnet.Algorithm, pol irnet.TreePolicy, sweep []int,
+	switches, ports, samples *int, seed *uint64, rate *float64,
+	plen, warmup, measure *int, recovery *string) {
 	var recoveries []irnet.RecoveryPolicy
 	for _, s := range strings.Split(*recovery, ",") {
 		switch strings.TrimSpace(s) {
@@ -65,6 +149,13 @@ func main() {
 			recoveries = append(recoveries, irnet.DrainRecovery)
 		case "drop":
 			recoveries = append(recoveries, irnet.DropRecovery)
+		case "immediate":
+			// Immediate without online recovery can genuinely deadlock: the
+			// run then either freezes for its remainder (showing up as lost
+			// throughput and in-flight flits) or, when the watchdog window
+			// fits inside the run, fails with the structured diagnostic
+			// below. Use -study recovery for the recovered variant.
+			recoveries = append(recoveries, irnet.ImmediateRecovery)
 		default:
 			log.Fatalf("unknown recovery policy %q", s)
 		}
@@ -86,9 +177,19 @@ func main() {
 
 	res, err := irnet.RunFaultStudy(opts)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Print(irnet.FormatFaults(res))
+}
+
+// fatal prints structured deadlock/livelock diagnostics when the error
+// carries them, and exits non-zero either way.
+func fatal(err error) {
+	if msg, ok := cliutil.Diagnose(err); ok {
+		fmt.Fprint(os.Stderr, "irfault: "+msg)
+		os.Exit(1)
+	}
+	log.Fatal(err)
 }
 
 func parseInts(s string) ([]int, error) {

@@ -6,6 +6,14 @@
 //	irsim [-topo random] [-switches 128] [-ports 4] [-seed 1] [-policy M1]
 //	      [-alg DOWN/UP] [-rate 0.1] [-plen 128] [-warmup 4000]
 //	      [-measure 16000] [-adaptive] [-pattern uniform] [-util]
+//	      [-recover] [-detect-interval 512] [-max-retries 4] [-backoff 64]
+//	      [-livelock 0]
+//
+// With -recover the simulator breaks wait-for cycles online by aborting and
+// re-injecting a victim packet instead of failing the run; unverified
+// routing functions (e.g. -alg unrestricted) are then permitted with a
+// warning. On deadlock or livelock failures irsim exits non-zero with a
+// structured diagnostic on stderr.
 package main
 
 import (
@@ -45,6 +53,12 @@ func main() {
 		hotfrac  = flag.Float64("hotfrac", 0.2, "hot fraction for -pattern hotspot")
 		util     = flag.Bool("util", false, "print per-node utilization")
 		profile  = flag.Bool("profile", false, "print the per-tree-level utilization profile")
+
+		recovered  = flag.Bool("recover", false, "enable online deadlock recovery (abort-and-retry); also permits simulating unverified routing functions")
+		detect     = flag.Int("detect-interval", 0, "online detector scan period in cycles (0 = default)")
+		maxRetries = flag.Int("max-retries", 0, "abort/re-inject attempts per packet before discarding (0 = default)")
+		backoff    = flag.Int("backoff", 0, "base re-injection backoff in cycles, doubled per retry (0 = default)")
+		livelock   = flag.Int("livelock", 0, "livelock age bound in cycles (0 = default policy, -1 = disabled)")
 	)
 	flag.Parse()
 
@@ -69,18 +83,26 @@ func main() {
 		log.Fatal(err)
 	}
 	if err := fn.Verify(); err != nil {
-		log.Fatalf("refusing to simulate: %v", err)
+		if !*recovered {
+			log.Fatalf("refusing to simulate: %v (rerun with -recover to rely on online recovery)", err)
+		}
+		fmt.Fprintf(os.Stderr, "irsim: warning: %v; continuing under online deadlock recovery\n", err)
 	}
 	tb := irnet.NewTable(fn)
 
 	cfg := irnet.SimConfig{
-		PacketLength:    *plen,
-		VirtualChannels: *vcs,
-		InjectionRate:   *rate,
-		MeanBurst:       *burst,
-		WarmupCycles:    *warmup,
-		MeasureCycles:   *measure,
-		Seed:            *seed,
+		PacketLength:      *plen,
+		VirtualChannels:   *vcs,
+		InjectionRate:     *rate,
+		MeanBurst:         *burst,
+		WarmupCycles:      *warmup,
+		MeasureCycles:     *measure,
+		Seed:              *seed,
+		RecoverDeadlocks:  *recovered,
+		DetectInterval:    *detect,
+		MaxRetries:        *maxRetries,
+		RetryBackoff:      *backoff,
+		LivelockThreshold: *livelock,
 	}
 	switch *sel {
 	case "random":
@@ -124,6 +146,10 @@ func main() {
 
 	res, err := irnet.Simulate(fn, tb, cfg)
 	if err != nil {
+		if msg, ok := cliutil.Diagnose(err); ok {
+			fmt.Fprint(os.Stderr, "irsim: "+msg)
+			os.Exit(1)
+		}
 		log.Fatal(err)
 	}
 	st, err := irnet.ComputeNodeStats(b.CG, res)
@@ -145,6 +171,11 @@ func main() {
 	fmt.Printf("leaves utilization %.6f\n", st.LeavesUtilization)
 	fmt.Printf("in flight at end   %d flits\n", res.InFlightAtEnd)
 	fmt.Printf("source queue peak  %d packets\n", res.SourceQueuePeak)
+	if *recovered {
+		fmt.Printf("deadlocks recovered %d (aborted %d packets / %d flits, retried %d, dropped %d)\n",
+			res.DeadlocksRecovered, res.PacketsAborted, res.FlitsAborted,
+			res.PacketsRetried, res.RecoveryDropped)
+	}
 
 	if *profile {
 		fmt.Println("level utilization profile (tree level: mean node utilization):")

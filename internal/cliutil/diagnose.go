@@ -1,0 +1,58 @@
+package cliutil
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/wormsim"
+)
+
+// Diagnose renders the structured simulator failures — deadlock and
+// livelock — as a multi-line report for the command-line tools. It returns
+// ok=false for any other error, in which case the caller should fall back
+// to plain error printing. The report always ends in a newline.
+//
+// The point of the structured form over err.Error() is actionability: the
+// wait-for cycle names the exact virtual channels and packets in the
+// circular wait, and the livelock report separates the packet's life story
+// (created, first injected, retries) from the bound it violated.
+func Diagnose(err error) (string, bool) {
+	var de *wormsim.DeadlockError
+	if errors.As(err, &de) {
+		return diagnoseDeadlock(de.Info), true
+	}
+	var le *wormsim.LivelockError
+	if errors.As(err, &le) {
+		return diagnoseLivelock(le.Info), true
+	}
+	return "", false
+}
+
+func diagnoseDeadlock(d *wormsim.DeadlockInfo) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "deadlock detected at cycle %d under %s\n", d.DetectedAt, d.Algorithm)
+	fmt.Fprintf(&b, "  %d flits frozen for %d cycles, %d blocked lanes\n",
+		d.FrozenFlits, d.FrozenFor, len(d.Blocked))
+	if len(d.Cycle) == 0 {
+		b.WriteString("  no circular wait extracted (starvation, not a cycle)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  circular wait (%d lanes, each waits on the next):\n", len(d.Cycle))
+	for _, vc := range d.Cycle {
+		fmt.Fprintf(&b, "    %s\n", vc)
+	}
+	fmt.Fprintf(&b, "    -> back to %s\n", d.Cycle[0])
+	return b.String()
+}
+
+func diagnoseLivelock(l *wormsim.LivelockInfo) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "livelock detected at cycle %d under %s\n", l.DetectedAt, l.Algorithm)
+	fmt.Fprintf(&b, "  packet %d (%d -> %d) undelivered %d cycles past first injection\n",
+		l.Packet, l.Src, l.Dst, l.Age)
+	fmt.Fprintf(&b, "  created at cycle %d, first injected at %d, aborted and retried %d times\n",
+		l.Created, l.FirstInjected, l.Retries)
+	fmt.Fprintf(&b, "  age bound: %d cycles\n", l.Threshold)
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package cliutil
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/wormsim"
+)
+
+func TestDiagnoseDeadlock(t *testing.T) {
+	cyc := []wormsim.BlockedVC{
+		{Channel: 3, VC: 0, Node: 2, Packet: 5, From: 1, To: 2},
+		{Channel: 4, VC: 0, Node: 3, Packet: 6, From: 2, To: 3},
+	}
+	err := fmt.Errorf("harness: sample 0: %w", &wormsim.DeadlockError{Info: &wormsim.DeadlockInfo{
+		DetectedAt:  1234,
+		FrozenFlits: 7,
+		FrozenFor:   2000,
+		Algorithm:   "unrestricted",
+		Cycle:       cyc,
+		Blocked:     cyc,
+	}})
+	out, ok := Diagnose(err)
+	if !ok {
+		t.Fatal("wrapped DeadlockError not recognized")
+	}
+	for _, want := range []string{
+		"deadlock detected at cycle 1234 under unrestricted",
+		"7 flits frozen for 2000 cycles, 2 blocked lanes",
+		"circular wait (2 lanes",
+		cyc[0].String(),
+		cyc[1].String(),
+		"-> back to " + cyc[0].String(),
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("deadlock report missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("report does not end in newline")
+	}
+}
+
+func TestDiagnoseDeadlockNoCycle(t *testing.T) {
+	out, ok := Diagnose(&wormsim.DeadlockError{Info: &wormsim.DeadlockInfo{
+		DetectedAt: 10, Algorithm: "DOWN/UP",
+	}})
+	if !ok || !strings.Contains(out, "no circular wait extracted") {
+		t.Fatalf("cycle-less deadlock report wrong (ok=%v):\n%s", ok, out)
+	}
+}
+
+func TestDiagnoseLivelock(t *testing.T) {
+	err := &wormsim.LivelockError{Info: &wormsim.LivelockInfo{
+		DetectedAt: 9000, Packet: 42, Src: 1, Dst: 6,
+		Created: 100, FirstInjected: 150, Age: 8850,
+		Retries: 3, Threshold: 500, Algorithm: "unrestricted",
+	}}
+	out, ok := Diagnose(err)
+	if !ok {
+		t.Fatal("LivelockError not recognized")
+	}
+	for _, want := range []string{
+		"livelock detected at cycle 9000 under unrestricted",
+		"packet 42 (1 -> 6) undelivered 8850 cycles",
+		"first injected at 150, aborted and retried 3 times",
+		"age bound: 500 cycles",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("livelock report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiagnoseOtherErrors(t *testing.T) {
+	for _, err := range []error{nil, errors.New("plain"), fmt.Errorf("wrapped: %w", errors.New("inner"))} {
+		if out, ok := Diagnose(err); ok || out != "" {
+			t.Errorf("Diagnose(%v) = (%q, %v), want (\"\", false)", err, out, ok)
+		}
+	}
+}

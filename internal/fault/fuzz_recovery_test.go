@@ -1,0 +1,95 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ctree"
+	"repro/internal/rng"
+	"repro/internal/topology"
+	"repro/internal/wormsim"
+)
+
+// FuzzRecoveryRun fuzzes faulted runs with the online deadlock-recovery
+// layer enabled across the recovery knob space (detect interval, retry
+// bound, backoff) and every reconfiguration policy including Immediate —
+// the one that actually manufactures deadlocks by mixing route generations.
+// Two properties must hold for every input: the run terminates without a
+// watchdog abort (the detector's scan interval is kept under half the
+// watchdog threshold, so recovery always preempts it — any *DeadlockError
+// is a recovery bug), and the flit conservation law balances with the new
+// aborted-flits term. The checked-in corpus under
+// testdata/fuzz/FuzzRecoveryRun pins the pinned deadlocking scenario of
+// recovery_test.go plus knob extremes; `make fuzz` explores beyond them.
+func FuzzRecoveryRun(f *testing.F) {
+	f.Add(uint64(1), 20, 4, 5, 2, 0.8, 2, 256, 3, 64, uint64(1))
+	f.Add(uint64(3), 16, 4, 2, 1, 0.3, 0, 64, 0, 1, uint64(42))
+	f.Add(uint64(5), 12, 5, 3, 0, 0.5, 2, 512, 1, 256, uint64(7))
+	f.Add(uint64(8), 24, 4, 4, 2, 0.6, 1, 128, 6, 16, uint64(31))
+	f.Add(uint64(11), 8, 3, 1, 1, 0.15, 2, 700, 2, 128, uint64(9))
+
+	f.Fuzz(func(t *testing.T, topoSeed uint64, switches, ports, links, swFails int, rate float64, recovery, detect, retries, backoff int, schedSeed uint64) {
+		switches = 4 + abs(switches)%21
+		ports = 3 + abs(ports)%4
+		links = abs(links) % 6
+		swFails = abs(swFails) % 3
+		if rate < 0 {
+			rate = -rate
+		}
+		rate = 0.05 + float64(int(rate*1000)%800)/1000
+		rec := RecoveryPolicy(abs(recovery) % 3)
+		detect = 32 + abs(detect)%700 // stays under half the 1500 watchdog
+		retries = abs(retries) % 7
+		backoff = 1 + abs(backoff)%256
+
+		g, err := topology.RandomIrregular(topology.IrregularConfig{Switches: switches, Ports: ports}, rng.New(topoSeed))
+		if err != nil {
+			return
+		}
+		sched, err := Random(g, ScheduleConfig{Links: links, Switches: swFails, From: 200, To: 3000}, rng.New(schedSeed))
+		if err != nil {
+			return // this topology cannot absorb that many failures
+		}
+		opts := Options{
+			Algorithm: core.DownUp{},
+			Policy:    ctree.M2, // random roots maximize route-generation conflicts
+			TreeSeed:  schedSeed,
+			Recovery:  rec,
+			Sim: wormsim.Config{
+				PacketLength:      16,
+				BufferDepth:       2,
+				InjectionRate:     rate,
+				WarmupCycles:      wormsim.NoWarmup,
+				MeasureCycles:     4000,
+				DeadlockThreshold: 1500,
+				Seed:              topoSeed ^ schedSeed<<8,
+				RecoverDeadlocks:  true,
+				DetectInterval:    detect,
+				MaxRetries:        retries,
+				RetryBackoff:      backoff,
+				// Age cannot exceed the run length, so the bound below can
+				// never trip: livelock semantics are wormsim's tests' job,
+				// this fuzz pins that recovery itself terminates cleanly.
+				LivelockThreshold: 4000,
+			},
+		}
+		res, err := Run(g, sched, opts)
+		if err != nil {
+			t.Fatalf("recovery-enabled run failed under %+v / %v: %v", opts, sched, err)
+		}
+		if err := res.Sim.CheckConservation(); err != nil {
+			t.Fatal(err)
+		}
+		if res.Sim.FlitsAborted > 0 && res.Sim.PacketsAborted == 0 {
+			t.Fatalf("aborted flits without aborted packets: %+v", res.Sim)
+		}
+		if res.Sim.DeadlocksRecovered == 0 &&
+			(res.Sim.PacketsAborted != 0 || res.Sim.PacketsRetried != 0 || res.Sim.RecoveryDropped != 0) {
+			t.Fatalf("recovery counters without recovery events: %+v", res.Sim)
+		}
+		if res.Recovery.DeadlocksRecovered != res.Sim.DeadlocksRecovered {
+			t.Fatalf("metrics aggregate %d != simulator %d recovered deadlocks",
+				res.Recovery.DeadlocksRecovered, res.Sim.DeadlocksRecovered)
+		}
+	})
+}

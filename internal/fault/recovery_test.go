@@ -1,0 +1,117 @@
+package fault
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ctree"
+	"repro/internal/rng"
+	"repro/internal/topology"
+	"repro/internal/wormsim"
+)
+
+// immediateDeadlockScenario is a pinned (topology, schedule, load) found by
+// seed search: under the Immediate reconfiguration policy — rebuilt routing
+// installed while old-route packets are still in flight — the mixed route
+// generations form a wait-for cycle and the run deadlocks. The M2 (random
+// root) tree policy matters: each rebuild reorients up/down directions, so
+// old and new routes disagree enough to close cycles.
+func immediateDeadlockScenario(t *testing.T) (*topology.Graph, *Schedule, Options) {
+	t.Helper()
+	g, err := topology.RandomIrregular(topology.IrregularConfig{Switches: 20, Ports: 4}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := Random(g, ScheduleConfig{Links: 5, Switches: 2, From: 300, To: 3000}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{
+		Algorithm: core.DownUp{},
+		Policy:    ctree.M2,
+		TreeSeed:  1,
+		Recovery:  Immediate,
+		Sim: wormsim.Config{
+			PacketLength:      64,
+			BufferDepth:       2,
+			InjectionRate:     0.8,
+			WarmupCycles:      wormsim.NoWarmup,
+			MeasureCycles:     8000,
+			DeadlockThreshold: 1500,
+			Seed:              257,
+		},
+	}
+	return g, sched, opts
+}
+
+// TestImmediateReconfigurationDeadlocks pins the failure mode that motivates
+// online recovery: the scenario above, run without the recovery layer, must
+// die with a structured deadlock diagnostic. If this stops deadlocking after
+// a simulator change, re-run the seed search and re-pin (the recovery test
+// below would otherwise pass vacuously).
+func TestImmediateReconfigurationDeadlocks(t *testing.T) {
+	g, sched, opts := immediateDeadlockScenario(t)
+	_, err := Run(g, sched, opts)
+	if err == nil {
+		t.Fatal("pinned immediate-reconfiguration scenario no longer deadlocks; re-run the seed search")
+	}
+	var dl *wormsim.DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("error is %T, want *DeadlockError: %v", err, err)
+	}
+	if len(dl.Info.Cycle) < 2 {
+		t.Fatalf("deadlock without a wait-for cycle: %+v", dl.Info)
+	}
+}
+
+// TestImmediateDeadlockRecovered is the acceptance scenario of the recovery
+// layer: the exact run that deadlocks above completes when the simulator's
+// online detector is on, conserves every flit, surfaces the recovery events
+// in metrics, and is byte-identical across two invocations.
+func TestImmediateDeadlockRecovered(t *testing.T) {
+	var prev []byte
+	for i := 0; i < 2; i++ {
+		g, sched, opts := immediateDeadlockScenario(t)
+		opts.Sim.RecoverDeadlocks = true
+		res, err := Run(g, sched, opts)
+		if err != nil {
+			t.Fatalf("recovery run failed: %v", err)
+		}
+		if err := res.Sim.CheckConservation(); err != nil {
+			t.Fatal(err)
+		}
+		if res.Sim.DeadlocksRecovered == 0 {
+			t.Fatal("run completed without breaking any cycle; scenario no longer exercises recovery")
+		}
+		if res.Recovery.DeadlocksRecovered != res.Sim.DeadlocksRecovered ||
+			res.Recovery.PacketsAborted != res.Sim.PacketsAborted ||
+			res.Recovery.FlitsAborted != res.Sim.FlitsAborted {
+			t.Fatalf("metrics aggregate diverges from simulator counters:\n%+v\nvs sim recovered=%d aborted=%d flits=%d",
+				res.Recovery, res.Sim.DeadlocksRecovered, res.Sim.PacketsAborted, res.Sim.FlitsAborted)
+		}
+		if res.Sim.PacketsDelivered == 0 {
+			t.Fatal("recovered run delivered nothing")
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 1 && string(b) != string(prev) {
+			t.Fatalf("recovered runs diverged:\nrun 1: %s\nrun 2: %s", prev, b)
+		}
+		prev = b
+	}
+}
+
+// TestImmediateRejectsAdaptive pins the mode guard: adaptive traffic cannot
+// cross a table swap under any policy but Drop.
+func TestImmediateRejectsAdaptive(t *testing.T) {
+	g, sched, opts := immediateDeadlockScenario(t)
+	opts.Sim.Mode = wormsim.Adaptive
+	opts.Sim.RecoverDeadlocks = true
+	if _, err := Run(g, sched, opts); err == nil {
+		t.Fatal("adaptive + Immediate accepted")
+	}
+}

@@ -25,13 +25,25 @@ const (
 	// Drop removes every in-flight packet immediately and resumes under the
 	// new function at once: maximum availability, maximum loss.
 	Drop
+	// Immediate installs the rebuilt routing function without draining or
+	// dropping: in-flight packets finish on their old routes while new
+	// packets take new ones. Mixing the two route generations can deadlock
+	// even when both functions are individually deadlock-free — the classic
+	// hidden deadlock of naive live reconfiguration — so Immediate is only
+	// viable with the simulator's online recovery layer
+	// (wormsim.Config.RecoverDeadlocks) breaking the cycles it creates.
+	Immediate
 )
 
 func (p RecoveryPolicy) String() string {
-	if p == Drop {
+	switch p {
+	case Drop:
 		return "drop"
+	case Immediate:
+		return "immediate"
+	default:
+		return "drain"
 	}
-	return "drain"
 }
 
 // Options configures one faulted run.
@@ -137,10 +149,12 @@ func Run(g *topology.Graph, sched *Schedule, opts Options) (*Result, error) {
 	if opts.Algorithm == nil {
 		return nil, fmt.Errorf("fault: nil Algorithm")
 	}
-	if opts.Sim.Mode == wormsim.Adaptive && opts.Recovery == Drain {
-		// Draining adaptive traffic across a table swap is unsound: an
+	if opts.Sim.Mode == wormsim.Adaptive && opts.Recovery != Drop {
+		// Carrying adaptive traffic across a table swap is unsound: an
 		// in-flight header mid-path under the old candidates may find no
-		// continuation under the new ones and starve forever.
+		// continuation under the new ones and starve forever. That rules
+		// out Drain and Immediate alike (recovery aborts cannot help a
+		// header with no legal next hop).
 		return nil, fmt.Errorf("fault: adaptive mode requires the Drop recovery policy")
 	}
 	if err := sched.Validate(g); err != nil {
@@ -194,10 +208,15 @@ func Run(g *topology.Graph, sched *Schedule, opts Options) (*Result, error) {
 			return nil, err
 		}
 
-		// Recover: drain or drop, then rebuild and rewire.
-		if opts.Recovery == Drop {
+		// Recover: drain or drop (Immediate does neither), then rebuild
+		// and rewire.
+		switch opts.Recovery {
+		case Drop:
 			sim.DropInFlight()
-		} else {
+		case Immediate:
+			// In-flight packets keep streaming on their old routes while
+			// the rebuilt function is installed underneath them.
+		default:
 			sim.PauseInjection(true)
 			for sim.InFlight() > 0 && cursor < total {
 				step := drainStep
@@ -246,6 +265,8 @@ func Run(g *topology.Graph, sched *Schedule, opts Options) (*Result, error) {
 	if err := out.Sim.CheckConservation(); err != nil {
 		return nil, err
 	}
+	out.Recovery.AddRecovered(out.Sim.DeadlocksRecovered, out.Sim.PacketsAborted,
+		out.Sim.FlitsAborted, out.Sim.PacketsRetried, out.Sim.RecoveryDropped)
 
 	liveN := 0
 	for v := range dead {

@@ -153,6 +153,9 @@ func FaultStudy(opts FaultOptions) (*FaultResults, error) {
 				if err != nil {
 					return nil, err
 				}
+				if err := out.Sim.CheckConservation(); err != nil {
+					return nil, fmt.Errorf("harness: sample %d, %d failures, %s: %w", si, nf, rec, err)
+				}
 				a := &accs[ri*len(opts.LinkFailures)+fi]
 				a.accepted.Add(out.Sim.AcceptedTraffic)
 				a.latency.Add(out.Sim.AvgLatency)

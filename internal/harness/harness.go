@@ -21,8 +21,10 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/cgraph"
 	"repro/internal/core"
@@ -67,6 +69,37 @@ type Options struct {
 	Parallelism int
 	// Progress, if non-nil, receives one line per completed cell.
 	Progress io.Writer
+	// CellDeadline, if positive, bounds the wall-clock time of each single
+	// simulation; a run past the deadline is abandoned (and skipped under
+	// KeepGoing). Wall time is inherently nondeterministic, so the default
+	// is off — it exists for long unattended sweeps where one pathological
+	// configuration must not stall the whole run.
+	CellDeadline time.Duration
+	// KeepGoing degrades failures (deadlock, livelock, conservation
+	// violations, panics, deadline overruns) to per-simulation skip records
+	// in Results.Skipped instead of aborting the sweep. Cells aggregate
+	// over their surviving samples. Default off: a failure kills the run,
+	// the right behaviour for tests and short interactive sweeps.
+	KeepGoing bool
+	// Checkpoint, if non-empty, is the path of a JSONL file recording every
+	// completed simulation. A run finding a checkpoint written with the
+	// same options resumes: recorded simulations are not re-run. Stale
+	// checkpoints (different options) are discarded, not mixed in.
+	Checkpoint string
+}
+
+// SkipRecord describes one simulation (or one sample's preparation) that a
+// KeepGoing run abandoned instead of aborting on.
+type SkipRecord struct {
+	Key CellKey
+	// Sample is the test-network index within the cell.
+	Sample int
+	// Rate is the injection rate of the skipped simulation; -1 when the
+	// whole sample failed to prepare (no simulation ran at any rate).
+	Rate float64
+	// Reason is the failure rendered as text (structured diagnostics from
+	// the simulator keep their formatting; panics include the stack).
+	Reason string
 }
 
 // PaperOptions returns the full paper-scale configuration. A complete run
@@ -115,6 +148,9 @@ func (o Options) validate() error {
 		if r <= 0 || r > 1 {
 			return fmt.Errorf("harness: rate %v outside (0, 1]", r)
 		}
+	}
+	if o.CellDeadline < 0 {
+		return fmt.Errorf("harness: negative CellDeadline %v", o.CellDeadline)
 	}
 	return nil
 }
@@ -175,6 +211,13 @@ type CellSpread struct {
 type Results struct {
 	Options Options
 	Cells   []Cell
+	// Skipped lists the simulations a KeepGoing run abandoned, in a
+	// deterministic order. Empty on clean runs (and always empty without
+	// KeepGoing — failures abort instead).
+	Skipped []SkipRecord
+	// Resumed is the number of simulations restored from the checkpoint
+	// instead of re-run (0 without Options.Checkpoint).
+	Resumed int
 }
 
 // Cell returns the cell with the given key, or nil.
@@ -188,11 +231,28 @@ func (r *Results) Cell(ports int, policy ctree.Policy, algorithm string) *Cell {
 	return nil
 }
 
-// runOutcome is one simulation's digest.
+// runOutcome is one simulation's digest. ok is false for simulations that
+// never produced a result (skipped under KeepGoing); aggregation ignores
+// them.
 type runOutcome struct {
+	ok       bool
 	accepted float64
 	latency  float64
 	stats    metrics.NodeStats
+}
+
+// deadlineChunk is the RunCycles granularity when a CellDeadline is set:
+// coarse enough to cost nothing, fine enough that an overrun is noticed
+// within a fraction of a second.
+const deadlineChunk = 2048
+
+// guardPanic converts a panic in a worker into an error carrying the stack,
+// so one pathological configuration produces a record instead of killing
+// the whole sweep process.
+func guardPanic(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+	}
 }
 
 // Run executes the full evaluation.
@@ -245,6 +305,7 @@ func Run(opts Options) (*Results, error) {
 	preps := make(map[cellSample]prep, len(work))
 	released := make(map[cellSample]int, len(work))
 	pathLen := make(map[cellSample]float64, len(work))
+	var skips []SkipRecord
 	var mu sync.Mutex
 	var firstErr error
 	sem := make(chan struct{}, par)
@@ -255,33 +316,40 @@ func Run(opts Options) (*Results, error) {
 		go func(cs cellSample) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			g := nets[netKey{cs.pi, cs.si}]
-			var treeRng *rng.Rng
-			if opts.Policies[cs.poli] == ctree.M2 {
-				treeRng = rng.New(deriveSeed(opts.Seed, uint64(cs.pi), uint64(cs.si), uint64(cs.poli), 1, 0))
-			}
-			tr, err := ctree.Build(g, opts.Policies[cs.poli], treeRng)
-			if err == nil {
-				cg := cgraph.Build(tr)
-				var fn *routing.Function
-				fn, err = opts.Algorithms[cs.ai].Build(cg)
-				if err == nil {
-					err = fn.Verify()
-					if err == nil {
-						tb := routing.NewTable(fn)
-						mu.Lock()
-						preps[cs] = prep{fn, tb}
-						released[cs] = fn.Released
-						pathLen[cs] = tb.AvgPathLength()
-						mu.Unlock()
-					}
+			err := func() (err error) {
+				defer guardPanic(&err)
+				g := nets[netKey{cs.pi, cs.si}]
+				var treeRng *rng.Rng
+				if opts.Policies[cs.poli] == ctree.M2 {
+					treeRng = rng.New(deriveSeed(opts.Seed, uint64(cs.pi), uint64(cs.si), uint64(cs.poli), 1, 0))
 				}
-			}
-			if err != nil {
+				tr, err := ctree.Build(g, opts.Policies[cs.poli], treeRng)
+				if err != nil {
+					return err
+				}
+				fn, err := opts.Algorithms[cs.ai].Build(cgraph.Build(tr))
+				if err != nil {
+					return err
+				}
+				if err := fn.Verify(); err != nil {
+					return err
+				}
+				tb := routing.NewTable(fn)
 				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("harness: prepare %v sample %d: %w",
-						CellKey{opts.Ports[cs.pi], opts.Policies[cs.poli], opts.Algorithms[cs.ai].Name()}, cs.si, err)
+				preps[cs] = prep{fn, tb}
+				released[cs] = fn.Released
+				pathLen[cs] = tb.AvgPathLength()
+				mu.Unlock()
+				return nil
+			}()
+			if err != nil {
+				key := CellKey{opts.Ports[cs.pi], opts.Policies[cs.poli], opts.Algorithms[cs.ai].Name()}
+				mu.Lock()
+				if opts.KeepGoing {
+					skips = append(skips, SkipRecord{Key: key, Sample: cs.si, Rate: -1,
+						Reason: fmt.Sprintf("prepare: %v", err)})
+				} else if firstErr == nil {
+					firstErr = fmt.Errorf("harness: prepare %v sample %d: %w", key, cs.si, err)
 				}
 				mu.Unlock()
 			}
@@ -292,51 +360,123 @@ func Run(opts Options) (*Results, error) {
 		return nil, firstErr
 	}
 
-	// Simulations: (cell, sample, rate).
+	// Resume state: simulations recorded by a prior interrupted run with
+	// identical options are restored, not re-run.
+	var ckDone map[ckptKey]ckptRecord
+	var ckW *checkpointWriter
+	if opts.Checkpoint != "" {
+		var err error
+		ckDone, ckW, err = openCheckpoint(opts.Checkpoint, fingerprint(opts))
+		if err != nil {
+			return nil, err
+		}
+		defer ckW.close()
+	}
+	resumed := 0
+
+	// Simulations: (cell, sample, rate). Each worker is panic-isolated and
+	// checks the flit conservation law on its result; failures abort the
+	// sweep, or degrade to skip records under KeepGoing.
+	simulate := func(p prep, cs cellSample, ri int) (out runOutcome, err error) {
+		defer guardPanic(&err)
+		cfg := wormsim.Config{
+			PacketLength:    opts.PacketLength,
+			VirtualChannels: opts.VirtualChannels,
+			InjectionRate:   opts.Rates[ri],
+			Mode:            opts.Mode,
+			WarmupCycles:    opts.WarmupCycles,
+			MeasureCycles:   opts.MeasureCycles,
+			Seed:            deriveSeed(opts.Seed, uint64(cs.pi), uint64(cs.si), uint64(cs.poli), uint64(cs.ai)+2, uint64(ri)+1),
+		}
+		sim, err := wormsim.New(p.fn, p.tb, cfg)
+		if err != nil {
+			return out, err
+		}
+		var res *wormsim.Result
+		if opts.CellDeadline > 0 {
+			deadline := time.Now().Add(opts.CellDeadline)
+			total := cfg.TotalCycles()
+			for sim.Cycle() < total {
+				step := deadlineChunk
+				if rest := total - sim.Cycle(); rest < step {
+					step = rest
+				}
+				if err := sim.RunCycles(step); err != nil {
+					return out, err
+				}
+				if sim.Cycle() < total && time.Now().After(deadline) {
+					return out, fmt.Errorf("deadline %v exceeded at cycle %d/%d",
+						opts.CellDeadline, sim.Cycle(), total)
+				}
+			}
+			res = sim.Finish()
+		} else if res, err = sim.Run(); err != nil {
+			return out, err
+		}
+		if err := res.CheckConservation(); err != nil {
+			return out, err
+		}
+		st, err := metrics.ComputeNodeStats(p.fn.CG(), res.ChannelFlits, res.MeasuredCycles)
+		if err != nil {
+			return out, err
+		}
+		return runOutcome{ok: true, accepted: res.AcceptedTraffic, latency: res.AvgLatency, stats: st}, nil
+	}
+
 	outcomes := make(map[cellSample][]runOutcome)
 	for _, cs := range work {
 		outcomes[cs] = make([]runOutcome, len(opts.Rates))
 	}
 	for _, cs := range work {
+		if _, prepared := preps[cs]; !prepared {
+			continue // preparation failed; skip record already written
+		}
 		for ri := range opts.Rates {
+			if rec, hit := ckDone[ckptKey{cs.pi, cs.si, cs.poli, cs.ai, ri}]; hit {
+				outcomes[cs][ri] = runOutcome{
+					ok:       true,
+					accepted: rec.Accepted,
+					latency:  rec.Latency,
+					stats: metrics.NodeStats{
+						Mean:              rec.Util,
+						TrafficLoad:       rec.Load,
+						HotSpotDegree:     rec.Hot,
+						LeavesUtilization: rec.Leaves,
+					},
+				}
+				resumed++
+				continue
+			}
 			wg.Add(1)
 			sem <- struct{}{}
 			go func(cs cellSample, ri int) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				p := preps[cs]
-				cfg := wormsim.Config{
-					PacketLength:    opts.PacketLength,
-					VirtualChannels: opts.VirtualChannels,
-					InjectionRate:   opts.Rates[ri],
-					Mode:            opts.Mode,
-					WarmupCycles:    opts.WarmupCycles,
-					MeasureCycles:   opts.MeasureCycles,
-					Seed:            deriveSeed(opts.Seed, uint64(cs.pi), uint64(cs.si), uint64(cs.poli), uint64(cs.ai)+2, uint64(ri)+1),
-				}
-				sim, err := wormsim.New(p.fn, p.tb, cfg)
-				var res *wormsim.Result
-				if err == nil {
-					res, err = sim.Run()
-				}
-				var st metrics.NodeStats
-				if err == nil {
-					st, err = metrics.ComputeNodeStats(p.fn.CG(), res.ChannelFlits, res.MeasuredCycles)
-				}
+				out, err := simulate(preps[cs], cs, ri)
+				key := CellKey{opts.Ports[cs.pi], opts.Policies[cs.poli], opts.Algorithms[cs.ai].Name()}
 				mu.Lock()
+				defer mu.Unlock()
 				if err != nil {
-					if firstErr == nil {
+					if opts.KeepGoing {
+						skips = append(skips, SkipRecord{Key: key, Sample: cs.si,
+							Rate: opts.Rates[ri], Reason: err.Error()})
+					} else if firstErr == nil {
 						firstErr = fmt.Errorf("harness: simulate %v sample %d rate %v: %w",
-							CellKey{opts.Ports[cs.pi], opts.Policies[cs.poli], opts.Algorithms[cs.ai].Name()}, cs.si, opts.Rates[ri], err)
+							key, cs.si, opts.Rates[ri], err)
 					}
-				} else {
-					outcomes[cs][ri] = runOutcome{
-						accepted: res.AcceptedTraffic,
-						latency:  res.AvgLatency,
-						stats:    st,
+					return
+				}
+				outcomes[cs][ri] = out
+				if ckW != nil {
+					if err := ckW.add(ckptRecord{
+						PI: cs.pi, SI: cs.si, PolI: cs.poli, AI: cs.ai, RI: ri,
+						Accepted: out.accepted, Latency: out.latency,
+						Util: out.stats.Mean, Load: out.stats.TrafficLoad,
+						Hot: out.stats.HotSpotDegree, Leaves: out.stats.LeavesUtilization,
+					}); err != nil && firstErr == nil {
+						firstErr = fmt.Errorf("harness: checkpoint: %w", err)
 					}
 				}
-				mu.Unlock()
 			}(cs, ri)
 		}
 	}
@@ -356,13 +496,19 @@ func Run(opts Options) (*Results, error) {
 				for si := 0; si < opts.Samples; si++ {
 					cs := cellSample{pi, poli, ai, si}
 					outs := outcomes[cs]
-					best := 0
+					best := -1
 					for ri := range outs {
+						if !outs[ri].ok {
+							continue // skipped; the record is in Results.Skipped
+						}
 						curves[2*ri].Add(outs[ri].accepted)
 						curves[2*ri+1].Add(outs[ri].latency)
-						if outs[ri].accepted > outs[best].accepted {
+						if best < 0 || outs[ri].accepted > outs[best].accepted {
 							best = ri
 						}
+					}
+					if best < 0 {
+						continue // every rate of this sample was skipped
 					}
 					maxT.Add(outs[best].accepted)
 					nodeU.Add(outs[best].stats.Mean)
@@ -402,7 +548,29 @@ func Run(opts Options) (*Results, error) {
 		}
 	}
 	sortCells(results.Cells)
+	sortSkips(skips)
+	results.Skipped = skips
+	results.Resumed = resumed
 	return results, nil
+}
+
+func sortSkips(skips []SkipRecord) {
+	sort.Slice(skips, func(i, j int) bool {
+		a, b := skips[i], skips[j]
+		if a.Key.Ports != b.Key.Ports {
+			return a.Key.Ports < b.Key.Ports
+		}
+		if a.Key.Policy != b.Key.Policy {
+			return a.Key.Policy < b.Key.Policy
+		}
+		if a.Key.Algorithm != b.Key.Algorithm {
+			return a.Key.Algorithm < b.Key.Algorithm
+		}
+		if a.Sample != b.Sample {
+			return a.Sample < b.Sample
+		}
+		return a.Rate < b.Rate
+	})
 }
 
 func sortCells(cells []Cell) {

@@ -137,6 +137,9 @@ func HotspotStudy(opts HotspotOptions) (*HotspotResults, error) {
 				if err != nil {
 					return nil, err
 				}
+				if err := out.CheckConservation(); err != nil {
+					return nil, err
+				}
 				st, err := metrics.ComputeNodeStats(cg, out.ChannelFlits, out.MeasuredCycles)
 				if err != nil {
 					return nil, err

@@ -157,6 +157,30 @@ func CSV(res *Results) string {
 	return b.String()
 }
 
+// FormatSkipped renders the skipped section of a KeepGoing run: one line
+// per abandoned simulation with its first-line reason (panic stacks span
+// pages; the record in Results.Skipped keeps the full text). Empty string
+// when nothing was skipped, so callers can print it unconditionally.
+func FormatSkipped(res *Results) string {
+	if len(res.Skipped) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "skipped: %d simulation(s) excluded from the aggregates\n", len(res.Skipped))
+	for _, s := range res.Skipped {
+		reason := s.Reason
+		if i := strings.IndexByte(reason, '\n'); i >= 0 {
+			reason = reason[:i] + " [...]"
+		}
+		if s.Rate < 0 {
+			fmt.Fprintf(&b, "  %-28s sample %-3d (prepare)   %s\n", s.Key, s.Sample, reason)
+		} else {
+			fmt.Fprintf(&b, "  %-28s sample %-3d rate %-6.3f %s\n", s.Key, s.Sample, s.Rate, reason)
+		}
+	}
+	return b.String()
+}
+
 func pad(s string, w int) string {
 	if len(s) >= w {
 		return s + " "

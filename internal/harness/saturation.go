@@ -48,6 +48,9 @@ func FindSaturation(fn *routing.Function, tb *routing.Table, cfg wormsim.Config,
 		if err != nil {
 			return 0, err
 		}
+		if err := res.CheckConservation(); err != nil {
+			return 0, err
+		}
 		sat.Probes++
 		return res.AcceptedTraffic, nil
 	}

@@ -199,6 +199,21 @@ type Recovery struct {
 	// failure until traffic resumed (drain + rebuild under the static
 	// reconfiguration model).
 	CyclesToRecover Welford
+	// DeadlocksRecovered counts wait-for cycles broken by the simulator's
+	// online recovery layer during the run (nonzero only when that layer is
+	// enabled — typically under immediate reconfiguration, where old-route
+	// and new-route traffic mix).
+	DeadlocksRecovered int
+	// PacketsAborted and FlitsAborted count recovery victim aborts: packets
+	// pulled out of the network back to their source to break a cycle, and
+	// the in-network flits they surrendered.
+	PacketsAborted int
+	FlitsAborted   int64
+	// PacketsRetried counts re-injections of aborted packets.
+	PacketsRetried int
+	// RecoveryDropped counts aborted packets discarded instead of retried
+	// (retry bound exhausted, or no surviving route).
+	RecoveryDropped int
 }
 
 // AddEvent folds one fault event's cost into the aggregate.
@@ -207,4 +222,14 @@ func (r *Recovery) AddEvent(packetsDropped int, flitsDropped int64, cyclesToReco
 	r.PacketsDropped += packetsDropped
 	r.FlitsDropped += flitsDropped
 	r.CyclesToRecover.Add(float64(cyclesToRecover))
+}
+
+// AddRecovered folds a whole run's online deadlock-recovery counters into
+// the aggregate (plain ints so this package stays simulator-agnostic).
+func (r *Recovery) AddRecovered(deadlocks, packetsAborted int, flitsAborted int64, retried, dropped int) {
+	r.DeadlocksRecovered += deadlocks
+	r.PacketsAborted += packetsAborted
+	r.FlitsAborted += flitsAborted
+	r.PacketsRetried += retried
+	r.RecoveryDropped += dropped
 }

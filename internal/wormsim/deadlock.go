@@ -98,18 +98,15 @@ func (s *Simulator) laneInfo(l int32, pkt int32) BlockedVC {
 	return BlockedVC{Channel: -1, Node: v, Packet: int(pkt), From: v, To: v}
 }
 
-// deadlockInfo builds the diagnostic at watchdog time.
-func (s *Simulator) deadlockInfo() *DeadlockInfo {
-	info := &DeadlockInfo{
-		DetectedAt:  int(s.now),
-		FrozenFlits: s.inFlight,
-		FrozenFor:   s.cfg.DeadlockThreshold,
-		Algorithm:   s.fn.AlgorithmName,
-	}
-	// Build the wait-for graph over lanes: for every lane with a blocked
-	// head flit, the lanes it needs that are currently unavailable.
-	waits := make(map[int32][]int32)
-	blockedPkt := make(map[int32]int32)
+// waitGraph builds the wait-for graph over virtual-channel lanes: for
+// every lane whose buffered head flit has been resting for at least
+// minStall cycles and cannot advance, the lanes it needs that are
+// currently unavailable. minStall 0 is the post-mortem view (every
+// blocked lane); the online detector passes its scan interval so that
+// transient waits never enter the graph.
+func (s *Simulator) waitGraph(minStall int32) (waits map[int32][]int32, blockedPkt map[int32]int32) {
+	waits = make(map[int32][]int32)
+	blockedPkt = make(map[int32]int32)
 	for v := 0; v < s.n; v++ {
 		for _, li := range s.inVCLs[v] {
 			b := &s.bufs[li]
@@ -117,6 +114,9 @@ func (s *Simulator) deadlockInfo() *DeadlockInfo {
 				continue
 			}
 			f := b.front()
+			if s.now-f.arrived < minStall {
+				continue
+			}
 			wants := s.wantedLanes(v, li, f)
 			var blockers []int32
 			for _, out := range wants {
@@ -134,6 +134,18 @@ func (s *Simulator) deadlockInfo() *DeadlockInfo {
 			}
 		}
 	}
+	return waits, blockedPkt
+}
+
+// deadlockInfo builds the diagnostic at watchdog time.
+func (s *Simulator) deadlockInfo() *DeadlockInfo {
+	info := &DeadlockInfo{
+		DetectedAt:  int(s.now),
+		FrozenFlits: s.inFlight,
+		FrozenFor:   s.cfg.DeadlockThreshold,
+		Algorithm:   s.fn.AlgorithmName,
+	}
+	waits, blockedPkt := s.waitGraph(0)
 	for li, pkt := range blockedPkt {
 		info.Blocked = append(info.Blocked, s.laneInfo(li, pkt))
 	}

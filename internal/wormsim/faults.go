@@ -267,6 +267,20 @@ func (s *Simulator) dropPacket(pid int32) bool {
 		return false
 	}
 	p.dropped = true
+	removed := s.removePacketFlits(pid)
+	s.res.PacketsDropped++
+	s.res.FlitsDropped += int64(removed)
+	s.lastMove = s.now // topology change counts as progress for the watchdog
+	p.route = nil
+	return true
+}
+
+// removePacketFlits pulls every flit of one packet out of the network —
+// buffers, wires, virtual-channel allocations, streaming bindings — and
+// returns the number of flits removed. It is the shared core of fault
+// drops and recovery aborts; the caller owns the accounting.
+func (s *Simulator) removePacketFlits(pid int32) int {
+	p := &s.packets[pid]
 	// Release input-lane streaming bindings before ownership: a lane whose
 	// nextOut lane is owned by this packet was carrying its flits.
 	for li := range s.nextOut {
@@ -303,12 +317,8 @@ func (s *Simulator) dropPacket(pid int32) bool {
 	}
 	s.inFlight -= removed
 	if want := int(p.sentFlits - p.delivered); removed != want {
-		panic(fmt.Sprintf("wormsim: dropping packet %d removed %d flits, expected %d (accounting broken)",
+		panic(fmt.Sprintf("wormsim: removing packet %d removed %d flits, expected %d (accounting broken)",
 			pid, removed, want))
 	}
-	s.res.PacketsDropped++
-	s.res.FlitsDropped += int64(removed)
-	s.lastMove = s.now // topology change counts as progress for the watchdog
-	p.route = nil
-	return true
+	return removed
 }

@@ -1,0 +1,243 @@
+package wormsim
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// recoveringRingConfig is the shared scenario of this file: the unrestricted
+// ring of TestDeadlockDiagnostic — which reliably deadlocks (that test fails
+// otherwise) — with online recovery switched on.
+func recoveringRingConfig() Config {
+	return Config{
+		PacketLength:      64,
+		BufferDepth:       2,
+		InjectionRate:     0.8,
+		WarmupCycles:      NoWarmup,
+		MeasureCycles:     50000,
+		DeadlockThreshold: 5000,
+		Seed:              1,
+		RecoverDeadlocks:  true,
+		DetectInterval:    256,
+	}
+}
+
+// TestRecoveryCompletesDeadlockingRun is the headline property: a
+// configuration that deadlocks the plain simulator (TestDeadlockDiagnostic
+// pins that) runs to completion under recovery, still delivers traffic, and
+// every flit is accounted for.
+func TestRecoveryCompletesDeadlockingRun(t *testing.T) {
+	f, tb := unrestrictedRing(t, 4)
+	res := run(t, f, tb, recoveringRingConfig())
+	if res.Deadlock != nil {
+		t.Fatalf("recovery run still carries a deadlock diagnostic: %+v", res.Deadlock)
+	}
+	if res.DeadlocksRecovered == 0 {
+		t.Fatal("unrestricted ring at 0.8 load recovered zero deadlocks; scenario no longer exercises recovery")
+	}
+	if res.PacketsAborted == 0 || res.FlitsAborted == 0 {
+		t.Fatalf("recovered %d deadlocks but aborted %d packets / %d flits",
+			res.DeadlocksRecovered, res.PacketsAborted, res.FlitsAborted)
+	}
+	if res.PacketsDelivered == 0 {
+		t.Fatal("recovery run delivered nothing")
+	}
+	if err := res.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("recovered=%d aborted=%d retried=%d dropped=%d delivered=%d",
+		res.DeadlocksRecovered, res.PacketsAborted, res.PacketsRetried,
+		res.RecoveryDropped, res.PacketsDelivered)
+}
+
+// TestRecoveryDeterminism: two runs of the identical configuration must be
+// byte-identical, recovery events included — the property every checkpoint,
+// CSV diff, and CI comparison in this repo leans on.
+func TestRecoveryDeterminism(t *testing.T) {
+	results := make([][]byte, 2)
+	for i := range results {
+		f, tb := unrestrictedRing(t, 4)
+		res := run(t, f, tb, recoveringRingConfig())
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = b
+	}
+	if string(results[0]) != string(results[1]) {
+		t.Fatalf("recovery runs diverged:\nrun 1: %s\nrun 2: %s", results[0], results[1])
+	}
+}
+
+// TestRecoveryVictimOnCycle is the property test of the victim-selection
+// contract: every victim the detector chooses must be one of the packets on
+// the wait-for cycle it reports (frozen-network fallback aborts report a nil
+// cycle and are exempt by construction).
+func TestRecoveryVictimOnCycle(t *testing.T) {
+	f, tb := unrestrictedRing(t, 4)
+	sim, err := New(f, tb, recoveringRingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, fallbacks := 0, 0
+	sim.OnRecovery = func(cyc []BlockedVC, victim int32) {
+		if cyc == nil {
+			fallbacks++
+			return
+		}
+		events++
+		for _, b := range cyc {
+			if int32(b.Packet) == victim {
+				return
+			}
+		}
+		t.Fatalf("victim %d is not on the reported cycle %+v", victim, cyc)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events == 0 {
+		t.Fatal("no cycle-break events observed; the property was never exercised")
+	}
+	if events+fallbacks != res.DeadlocksRecovered {
+		t.Fatalf("observed %d+%d recovery events, Result counts %d",
+			events, fallbacks, res.DeadlocksRecovered)
+	}
+}
+
+// TestRecoveryRetryExhaustion drives the bounded-retry discard path: the
+// OnRecovery hook (which fires before the abort) marks each victim as
+// already at its retry bound, so every abort must take the discard branch —
+// RecoveryDropped grows, nothing is retried, and conservation still holds
+// because discarded flits are counted as aborted plus dropped-by-recovery.
+func TestRecoveryRetryExhaustion(t *testing.T) {
+	f, tb := unrestrictedRing(t, 4)
+	sim, err := New(f, tb, recoveringRingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.OnRecovery = func(_ []BlockedVC, victim int32) {
+		sim.packets[victim].retries = int32(sim.cfg.MaxRetries)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlocksRecovered == 0 {
+		t.Fatal("scenario recovered zero deadlocks")
+	}
+	if res.RecoveryDropped != res.PacketsAborted {
+		t.Fatalf("every abort should discard: dropped %d of %d aborts",
+			res.RecoveryDropped, res.PacketsAborted)
+	}
+	if res.PacketsRetried != 0 {
+		t.Fatalf("exhausted victims were retried %d times", res.PacketsRetried)
+	}
+}
+
+// TestLivelockDiagnostic: a deadlocked ring with recovery off and a tight
+// age bound must surface as a structured *LivelockError (packets are in the
+// network, undelivered, past the bound) long before the deadlock watchdog
+// would fire, and the partial Result must carry the same diagnostic.
+func TestLivelockDiagnostic(t *testing.T) {
+	f, tb := unrestrictedRing(t, 4)
+	sim, err := New(f, tb, Config{
+		PacketLength:      64,
+		BufferDepth:       2,
+		InjectionRate:     0.8,
+		WarmupCycles:      NoWarmup,
+		MeasureCycles:     50000,
+		DeadlockThreshold: 20000,
+		LivelockThreshold: 500,
+		DetectInterval:    128,
+		Seed:              1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err == nil {
+		t.Fatal("tight age bound on a deadlocking ring did not trip")
+	}
+	var ll *LivelockError
+	if !errors.As(err, &ll) {
+		t.Fatalf("error is %T, want *LivelockError: %v", err, err)
+	}
+	info := ll.Info
+	if info == nil {
+		t.Fatal("LivelockError without Info")
+	}
+	if res == nil || res.Livelock != info {
+		t.Fatal("partial Result does not carry the livelock diagnostic")
+	}
+	if info.Age <= info.Threshold {
+		t.Fatalf("reported age %d does not exceed threshold %d", info.Age, info.Threshold)
+	}
+	if info.FirstInjected < 0 || info.DetectedAt-info.FirstInjected != info.Age {
+		t.Fatalf("inconsistent diagnostic: %+v", info)
+	}
+	if info.Algorithm != "unrestricted" {
+		t.Fatalf("diagnostic names algorithm %q", info.Algorithm)
+	}
+	if info.DetectedAt >= 20000 {
+		t.Fatal("livelock fired later than the deadlock watchdog would have")
+	}
+	if msg := ll.Error(); msg == "" {
+		t.Fatal("empty error message")
+	}
+}
+
+// TestRecoveryConfigValidation pins the new knob validation.
+func TestRecoveryConfigValidation(t *testing.T) {
+	f, tb := unrestrictedRing(t, 4)
+	base := recoveringRingConfig()
+	bad := []func(*Config){
+		func(c *Config) { c.DetectInterval = -1 },
+		func(c *Config) { c.MaxRetries = -1 },
+		func(c *Config) { c.RetryBackoff = -1 },
+		func(c *Config) { c.LivelockThreshold = -2 },
+	}
+	for i, mutate := range bad {
+		cfg := base
+		mutate(&cfg)
+		if _, err := New(f, tb, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	// NoLivelockCheck itself is legal.
+	cfg := base
+	cfg.LivelockThreshold = NoLivelockCheck
+	if _, err := New(f, tb, cfg); err != nil {
+		t.Errorf("NoLivelockCheck rejected: %v", err)
+	}
+}
+
+// TestRecoveryOffByDefault: without RecoverDeadlocks the detector must not
+// run — same deadlocking scenario, plain watchdog abort, zero recovery
+// counters.
+func TestRecoveryOffByDefault(t *testing.T) {
+	cfg := recoveringRingConfig()
+	cfg.RecoverDeadlocks = false
+	cfg.DeadlockThreshold = 1000
+	f, tb := unrestrictedRing(t, 4)
+	sim, err := New(f, tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err == nil {
+		t.Fatal("run without recovery did not deadlock")
+	}
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("error is %T, want *DeadlockError", err)
+	}
+	if res.DeadlocksRecovered != 0 || res.PacketsAborted != 0 || res.PacketsRetried != 0 {
+		t.Fatalf("recovery counters nonzero with recovery off: %+v", res)
+	}
+}

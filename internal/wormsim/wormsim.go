@@ -114,8 +114,35 @@ type Config struct {
 	// DeadlockThreshold aborts the run if no flit moves for this many
 	// cycles while flits are in flight (default 20000). A verified routing
 	// function never trips it; it exists to catch — and to demonstrate, in
-	// tests — deadlocks under broken turn configurations.
+	// tests — deadlocks under broken turn configurations. With
+	// RecoverDeadlocks it is the backstop behind the online detector.
 	DeadlockThreshold int
+	// RecoverDeadlocks enables online deadlock recovery: every
+	// DetectInterval cycles the simulator scans the wait-for graph over
+	// stalled virtual-channel lanes; when a cycle is found, a deterministic
+	// victim packet on the cycle is aborted back to its source and
+	// re-injected after an exponential backoff (abort-and-retry recovery).
+	// The run then completes instead of failing with a *DeadlockError.
+	RecoverDeadlocks bool
+	// DetectInterval is the online detector's scan period in cycles
+	// (default 512). A lane joins the scanned wait-for graph only after its
+	// head flit has been stalled for a full interval, so transient waits
+	// never look like deadlock.
+	DetectInterval int
+	// MaxRetries bounds the abort/re-inject attempts per packet (default
+	// 4); a packet aborted beyond the bound is discarded and counted in
+	// Result.RecoveryDropped.
+	MaxRetries int
+	// RetryBackoff is the base re-injection delay in cycles after an abort
+	// (default 64); it doubles with every further retry of the same packet.
+	RetryBackoff int
+	// LivelockThreshold bounds a packet's network age: if a packet is still
+	// undelivered LivelockThreshold cycles after its first injection, the
+	// run aborts with a *LivelockError (retried and adaptively-misrouted
+	// packets must not starve silently). Zero selects the default — four
+	// times DeadlockThreshold when RecoverDeadlocks is set, disabled
+	// otherwise; NoLivelockCheck disables the bound explicitly.
+	LivelockThreshold int
 	// Trace, if non-nil, receives one CSV line per packet delivered during
 	// the measurement window: pkt,src,dst,created,injected,delivered,hops.
 	// A header line is written first. Tracing costs one formatted write per
@@ -155,6 +182,10 @@ func (s Selection) String() string {
 // zero selects the default instead).
 const NoWarmup = -1
 
+// NoLivelockCheck disables the per-packet age bound explicitly (a
+// LivelockThreshold of zero selects the default policy instead).
+const NoLivelockCheck = -1
+
 // TotalCycles returns the run length (warmup + measurement) after default
 // resolution — the cycle budget a fault-injection driver schedules against.
 func (c Config) TotalCycles() int {
@@ -184,6 +215,22 @@ func (c Config) withDefaults() Config {
 	if c.DeadlockThreshold == 0 {
 		c.DeadlockThreshold = 20000
 	}
+	if c.DetectInterval == 0 {
+		c.DetectInterval = 512
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 4
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 64
+	}
+	if c.LivelockThreshold == 0 {
+		if c.RecoverDeadlocks {
+			c.LivelockThreshold = 4 * c.DeadlockThreshold
+		} else {
+			c.LivelockThreshold = NoLivelockCheck
+		}
+	}
 	return c
 }
 
@@ -203,6 +250,18 @@ func (c Config) validate(n int) error {
 	if c.WarmupCycles < 0 || c.MeasureCycles <= 0 {
 		return fmt.Errorf("wormsim: bad cycle counts (warmup %d, measure %d)",
 			c.WarmupCycles, c.MeasureCycles)
+	}
+	if c.DetectInterval < 1 {
+		return fmt.Errorf("wormsim: DetectInterval %d < 1", c.DetectInterval)
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("wormsim: negative MaxRetries %d", c.MaxRetries)
+	}
+	if c.RetryBackoff < 1 {
+		return fmt.Errorf("wormsim: RetryBackoff %d < 1", c.RetryBackoff)
+	}
+	if c.LivelockThreshold < NoLivelockCheck {
+		return fmt.Errorf("wormsim: LivelockThreshold %d < %d", c.LivelockThreshold, NoLivelockCheck)
 	}
 	if n < 2 {
 		return fmt.Errorf("wormsim: need at least 2 switches, got %d", n)
@@ -280,16 +339,38 @@ type Result struct {
 	// clean runs. When set, the rest of the Result is partial (the run was
 	// aborted).
 	Deadlock *DeadlockInfo
+	// Livelock carries the structured diagnostic when a packet exceeded
+	// the LivelockThreshold age bound. It is nil on clean runs. When set,
+	// the rest of the Result is partial (the run was aborted).
+	Livelock *LivelockInfo
+	// DeadlocksRecovered counts wait-for cycles broken by the online
+	// recovery layer (plus frozen-network fallback aborts). Zero unless
+	// Config.RecoverDeadlocks is set.
+	DeadlocksRecovered int
+	// PacketsAborted counts victim-abort events: a packet pulled out of
+	// the network back to its source by deadlock recovery. One packet can
+	// be aborted several times (once per retry).
+	PacketsAborted int
+	// FlitsAborted counts the in-network flits removed by those aborts —
+	// the recovery term of the conservation law.
+	FlitsAborted int64
+	// PacketsRetried counts re-injections scheduled after an abort (equal
+	// to PacketsAborted minus the aborts that exhausted MaxRetries).
+	PacketsRetried int
+	// RecoveryDropped counts packets discarded by recovery — retries
+	// exhausted, or no route left for the retry after faults.
+	RecoveryDropped int
 }
 
 // CheckConservation verifies the flit conservation law of a finished run:
-// every injected flit is delivered, dropped by a fault, or still in flight.
-// A violation is a simulator bug, never a network condition.
+// every injected flit is delivered, dropped by a fault, removed by a
+// recovery abort, or still in flight. A violation is a simulator bug,
+// never a network condition.
 func (r *Result) CheckConservation() error {
-	want := r.FlitsDeliveredTotal + r.FlitsDropped + int64(r.InFlightAtEnd)
+	want := r.FlitsDeliveredTotal + r.FlitsDropped + r.FlitsAborted + int64(r.InFlightAtEnd)
 	if r.FlitsInjected != want {
-		return fmt.Errorf("wormsim: flit conservation violated: injected %d != delivered %d + dropped %d + in-flight %d",
-			r.FlitsInjected, r.FlitsDeliveredTotal, r.FlitsDropped, r.InFlightAtEnd)
+		return fmt.Errorf("wormsim: flit conservation violated: injected %d != delivered %d + dropped %d + aborted %d + in-flight %d",
+			r.FlitsInjected, r.FlitsDeliveredTotal, r.FlitsDropped, r.FlitsAborted, r.InFlightAtEnd)
 	}
 	return nil
 }
@@ -327,10 +408,14 @@ type packet struct {
 	injected  int32 // cycle the header entered the injection channel; -1 until then
 	sentFlits int32 // flits handed to the injection channel so far
 	delivered int32 // flits consumed by the destination processor so far
-	dropped   bool  // removed by fault injection; skip on every path
+	dropped   bool  // removed by fault injection or recovery; skip on every path
 	route     []int32
 	hop       int32 // next route index the header will use (source-routed)
 	hops      int32 // switch-to-switch channels traversed by the header
+	// Recovery state.
+	firstInjected int32 // cycle of the first injection ever; -1 until then (survives aborts)
+	retries       int32 // abort/re-inject attempts so far
+	notBefore     int32 // earliest re-injection cycle after an abort (backoff)
 }
 
 const (
@@ -387,11 +472,19 @@ type Simulator struct {
 	deadWire  []bool // per physical wire: killed by fault injection
 	deadNode  []bool // per switch: killed by fault injection
 
+	retrying []int32 // ids of packets aborted at least once and not yet done
+
 	// TraceMove, if non-nil, is called whenever a flit is placed on a wire
 	// (switch output, injection, or ejection crossing), with the target
 	// vclane. Tests use it to assert wormhole invariants; it must not
 	// mutate the simulator.
 	TraceMove func(vclane, pkt, idx int32)
+
+	// OnRecovery, if non-nil, is called once per broken deadlock with the
+	// detected wait-for cycle (nil for a frozen-network fallback abort) and
+	// the victim packet id. Tests use it to assert victim selection; it
+	// must not mutate the simulator.
+	OnRecovery func(cycle []BlockedVC, victim int32)
 
 	res Result
 }
@@ -541,6 +634,7 @@ func (s *Simulator) RunCycles(k int) error {
 		}
 	}
 	measureEnd := s.cfg.WarmupCycles + s.cfg.MeasureCycles
+	scanning := s.cfg.RecoverDeadlocks || s.cfg.LivelockThreshold != NoLivelockCheck
 	for i := 0; i < k; i++ {
 		s.cycle++
 		s.now++
@@ -550,6 +644,11 @@ func (s *Simulator) RunCycles(k int) error {
 		s.switchStage()
 		s.feedInjection()
 		s.generate()
+		if scanning && s.cycle%s.cfg.DetectInterval == 0 {
+			if err := s.recoveryScan(); err != nil {
+				return err
+			}
+		}
 		if s.inFlight > 0 && s.now-s.lastMove > int32(s.cfg.DeadlockThreshold) {
 			info := s.deadlockInfo()
 			s.res.Deadlock = info
@@ -855,7 +954,13 @@ func (s *Simulator) feedInjection() {
 				// ones wait for the reconfiguration to complete.
 				continue
 			}
+			if p.notBefore > s.now {
+				continue // aborted packet still backing off before its retry
+			}
 			p.injected = s.now
+			if p.firstInjected < 0 {
+				p.firstInjected = s.now
+			}
 		}
 		s.wire[w] = flit{pkt: pid, idx: p.sentFlits, arrived: s.now}
 		s.wireVCL[w] = l
@@ -889,11 +994,12 @@ func (s *Simulator) generate() {
 			continue
 		}
 		p := packet{
-			src:      int32(v),
-			dst:      int32(dst),
-			length:   int32(s.cfg.PacketLength),
-			created:  s.now,
-			injected: -1,
+			src:           int32(v),
+			dst:           int32(dst),
+			length:        int32(s.cfg.PacketLength),
+			created:       s.now,
+			injected:      -1,
+			firstInjected: -1,
 		}
 		switch s.cfg.Mode {
 		case SourceRouted:

@@ -329,6 +329,11 @@ type (
 	DeadlockInfo = wormsim.DeadlockInfo
 	// DeadlockError wraps DeadlockInfo as the simulator's error.
 	DeadlockError = wormsim.DeadlockError
+	// LivelockInfo is the structured diagnostic of a livelock: the starving
+	// packet, its age, and the bound it exceeded.
+	LivelockInfo = wormsim.LivelockInfo
+	// LivelockError wraps LivelockInfo as the simulator's error.
+	LivelockError = wormsim.LivelockError
 )
 
 // Fault kinds and recovery policies.
@@ -343,6 +348,14 @@ const (
 	DrainRecovery = fault.Drain
 	// DropRecovery discards in-flight traffic and resumes immediately.
 	DropRecovery = fault.Drop
+	// ImmediateRecovery rewires routing without draining or dropping:
+	// in-flight traffic keeps moving and mixes old-route and new-route
+	// packets, which can form wait-for cycles no static analysis rules out.
+	// Only viable with SimConfig.RecoverDeadlocks (online recovery).
+	ImmediateRecovery = fault.Immediate
+	// NoLivelockCheck disables the livelock age bound (SimConfig
+	// LivelockThreshold sentinel; a zero value selects the default policy).
+	NoLivelockCheck = wormsim.NoLivelockCheck
 )
 
 // RandomFaultSchedule generates a deterministic connectivity-preserving
@@ -374,3 +387,35 @@ func RunFaultStudy(opts FaultStudyOptions) (*FaultStudyResults, error) {
 
 // FormatFaults renders a fault study as text.
 func FormatFaults(r *FaultStudyResults) string { return harness.FormatFaults(r) }
+
+// Recovery-study types (the immediate-reconfiguration sweep with online
+// deadlock recovery).
+type (
+	// RecoveryStudyOptions configures the recovery study.
+	RecoveryStudyOptions = harness.RecoveryOptions
+	// RecoveryStudyResults is the recovery study output.
+	RecoveryStudyResults = harness.RecoveryResults
+	// RecoveryStudyPoint is one failure-count aggregate of the study.
+	RecoveryStudyPoint = harness.RecoveryPoint
+)
+
+// DefaultRecoveryStudyOptions returns a sweep tuned so mixed-generation
+// deadlocks actually occur (they are rare events).
+func DefaultRecoveryStudyOptions() RecoveryStudyOptions { return harness.DefaultRecoveryOptions() }
+
+// RunRecoveryStudy sweeps failure counts under immediate reconfiguration
+// with the online deadlock detector enabled, reporting deadlock frequency
+// and recovery cost.
+func RunRecoveryStudy(opts RecoveryStudyOptions) (*RecoveryStudyResults, error) {
+	return harness.RecoveryStudy(opts)
+}
+
+// FormatRecovery renders a recovery study as text.
+func FormatRecovery(r *RecoveryStudyResults) string { return harness.FormatRecovery(r) }
+
+// SkipRecord describes one simulation a KeepGoing evaluation abandoned.
+type SkipRecord = harness.SkipRecord
+
+// FormatSkipped renders the skipped section of a KeepGoing evaluation
+// (empty string when nothing was skipped).
+func FormatSkipped(res *EvalResults) string { return harness.FormatSkipped(res) }

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench paper quick verify examples faults recovery fuzz clean
+.PHONY: all build test race bench servebench paper quick verify examples faults recovery fuzz clean
 
 all: build test
 
@@ -19,6 +19,25 @@ race:
 # One benchmark per paper table/figure plus ablations (quick scale).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Serving benchmark: start irnetd on an ephemeral port, drive it with
+# irbench at the paper topology scale (128 switches, 4 ports), and write
+# throughput + latency percentiles to results/BENCH_netd.json. The daemon
+# is SIGTERMed afterwards and must drain cleanly (exit 0) for the target
+# to succeed.
+servebench:
+	mkdir -p results/.bin
+	$(GO) build -o results/.bin/irnetd ./cmd/irnetd
+	$(GO) build -o results/.bin/irbench ./cmd/irbench
+	@set -e; rm -f results/.bin/addr; \
+	results/.bin/irnetd -listen 127.0.0.1:0 -addr-file results/.bin/addr \
+		-switches 128 -ports 4 > results/.bin/irnetd.log 2>&1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	results/.bin/irbench -addr-file results/.bin/addr -wait 10s \
+		-qps 15000 -conns 8 -duration 5s -json results/BENCH_netd.json; \
+	kill -TERM $$pid; wait $$pid; trap - EXIT; \
+	grep -q 'irnetd: drained' results/.bin/irnetd.log
+	@cat results/BENCH_netd.json
 
 # The full paper-scale evaluation; writes text, CSV, and SVG into results/.
 # The checkpoint makes the hours-long sweep crash-safe: completed
@@ -71,6 +90,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzConfig -fuzztime=10s ./internal/wormsim/
 	$(GO) test -run=^$$ -fuzz=FuzzFaultRun -fuzztime=30s ./internal/fault/
 	$(GO) test -run=^$$ -fuzz=FuzzRecoveryRun -fuzztime=20s ./internal/fault/
+	$(GO) test -run=^$$ -fuzz=FuzzFIBDecode -fuzztime=15s ./internal/fib/
 
 clean:
 	rm -f results/*.svg results/*.csv results/*.txt results/*.jsonl

@@ -1,0 +1,191 @@
+package clitests
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startDaemon launches irnetd on an ephemeral port and returns its base URL
+// plus the running command. The caller owns shutdown.
+func startDaemon(t *testing.T, extra ...string) (string, *exec.Cmd) {
+	t.Helper()
+	dir := binaries(t)
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	args := append([]string{"-listen", ":0", "-addr-file", addrFile,
+		"-topo", "random", "-switches", "24", "-ports", "4"}, extra...)
+	cmd := exec.Command(filepath.Join(dir, "irnetd"), args...)
+	var out strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+		if t.Failed() {
+			t.Logf("irnetd output:\n%s", out.String())
+		}
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		raw, err := os.ReadFile(addrFile)
+		if err == nil && strings.TrimSpace(string(raw)) != "" {
+			return "http://" + strings.TrimSpace(string(raw)), cmd
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("irnetd never wrote %s\n%s", addrFile, out.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestIrnetdServesAndDrains(t *testing.T) {
+	base, cmd := startDaemon(t)
+
+	var route struct {
+		Version uint64 `json:"version"`
+		Hops    int    `json:"hops"`
+	}
+	getInto(t, base+"/route?from=0&to=9", &route)
+	if route.Version != 1 || route.Hops == 0 {
+		t.Fatalf("route answer %+v", route)
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if !strings.Contains(body, `irnetd_queries_total{endpoint="route",outcome="ok"}`) {
+		t.Fatalf("metrics missing route counter:\n%s", body)
+	}
+
+	// A reconfiguration over HTTP bumps the version.
+	req, _ := http.NewRequest("POST", base+"/topology/reset", nil)
+	rresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var after struct {
+		Version uint64 `json:"version"`
+	}
+	if err := json.NewDecoder(rresp.Body).Decode(&after); err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if after.Version != 2 {
+		t.Fatalf("post-reset version = %d, want 2", after.Version)
+	}
+
+	// SIGTERM drains cleanly: exit 0 and the drained marker on stdout.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("irnetd exited uncleanly after SIGTERM: %v", err)
+	}
+	outBuf := cmd.Stdout.(*strings.Builder).String()
+	if !strings.Contains(outBuf, "irnetd: drained") {
+		t.Fatalf("missing drained marker in output:\n%s", outBuf)
+	}
+}
+
+func TestIrbenchAgainstDaemon(t *testing.T) {
+	base, cmd := startDaemon(t)
+	defer func() {
+		_ = cmd.Process.Signal(syscall.SIGTERM)
+		_ = cmd.Wait()
+	}()
+	dir := binaries(t)
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	out, err := exec.Command(filepath.Join(dir, "irbench"),
+		"-addr", strings.TrimPrefix(base, "http://"),
+		"-qps", "2000", "-conns", "4", "-duration", "500ms",
+		"-json", jsonPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("irbench: %v\n%s", err, out)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Bench       string  `json:"bench"`
+		AchievedQPS float64 `json:"achieved_qps"`
+		Requests    int     `json:"requests"`
+		Errors      int     `json:"errors"`
+		LatencyUS   struct {
+			P50 float64 `json:"p50"`
+			P99 float64 `json:"p99"`
+		} `json:"latency_us"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("bad bench JSON: %v\n%s", err, raw)
+	}
+	if rep.Bench != "irnetd" || rep.Requests == 0 || rep.Errors != 0 {
+		t.Fatalf("bench report %+v\n%s", rep, out)
+	}
+	if rep.LatencyUS.P99 < rep.LatencyUS.P50 || rep.LatencyUS.P50 <= 0 {
+		t.Fatalf("implausible latency percentiles: %+v", rep.LatencyUS)
+	}
+}
+
+func TestIrnetdServesFIBArtifact(t *testing.T) {
+	fibFile := filepath.Join(t.TempDir(), "net.fib")
+	// Compile the FIB with irroute, then have irnetd serve it: the two
+	// tools must agree on topology given the same spec flags.
+	run(t, "irroute", "-topo", "random", "-switches", "24", "-ports", "4", "-fib", fibFile)
+	base, cmd := startDaemon(t, "-fib", fibFile)
+	defer func() {
+		_ = cmd.Process.Signal(syscall.SIGTERM)
+		_ = cmd.Wait()
+	}()
+	resp, err := http.Get(base + "/fib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := readAll(t, resp)
+	disk, err := os.ReadFile(fibFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served != string(disk) {
+		t.Fatalf("served FIB (%d bytes) differs from artifact (%d bytes)", len(served), len(disk))
+	}
+}
+
+func getInto(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}

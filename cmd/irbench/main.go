@@ -1,0 +1,281 @@
+// Command irbench load-tests a running irnetd and reports throughput and
+// latency percentiles. Workers pace themselves to the target rate (or run
+// a closed loop with -qps 0), reuse keep-alive connections, and draw random
+// live query pairs from the daemon's own /snapshot answer.
+//
+// Usage:
+//
+//	irbench -addr HOST:PORT | -addr-file PATH
+//	        [-qps 10000] [-conns 8] [-duration 5s] [-wait 5s]
+//	        [-endpoint route|nexthop] [-seed 1] [-json FILE]
+//
+// The text summary goes to stdout; -json additionally writes a
+// machine-readable report. Exit is nonzero if any request failed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/rng"
+)
+
+type latencyReport struct {
+	MeanUS float64 `json:"mean"`
+	P50US  float64 `json:"p50"`
+	P90US  float64 `json:"p90"`
+	P99US  float64 `json:"p99"`
+	P999US float64 `json:"p999"`
+	MaxUS  float64 `json:"max"`
+}
+
+type report struct {
+	Bench           string        `json:"bench"`
+	Endpoint        string        `json:"endpoint"`
+	Addr            string        `json:"addr"`
+	Switches        int           `json:"switches"`
+	SnapshotVersion uint64        `json:"snapshot_version"`
+	Conns           int           `json:"conns"`
+	TargetQPS       float64       `json:"target_qps"`
+	AchievedQPS     float64       `json:"achieved_qps"`
+	Requests        int           `json:"requests"`
+	Errors          int           `json:"errors"`
+	DurationSeconds float64       `json:"duration_seconds"`
+	LatencyUS       latencyReport `json:"latency_us"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "daemon address HOST:PORT")
+		addrFile = flag.String("addr-file", "", "read the daemon address from this file (written by irnetd -addr-file)")
+		qps      = flag.Float64("qps", 10000, "total target request rate (0 = unthrottled closed loop)")
+		conns    = flag.Int("conns", 8, "concurrent keep-alive connections (workers)")
+		duration = flag.Duration("duration", 5*time.Second, "measurement window")
+		wait     = flag.Duration("wait", 5*time.Second, "how long to wait for the daemon to become ready")
+		endpoint = flag.String("endpoint", "route", "query endpoint to drive (route or nexthop)")
+		seed     = flag.Uint64("seed", 1, "seed for query-pair selection")
+		jsonOut  = flag.String("json", "", "also write a JSON report to this file")
+	)
+	flag.Parse()
+	if *conns < 1 {
+		cliutil.Usagef("irbench", "-conns must be >= 1")
+	}
+	if *endpoint != "route" && *endpoint != "nexthop" {
+		cliutil.Usagef("irbench", "-endpoint must be route or nexthop, got %q", *endpoint)
+	}
+
+	target, err := resolveAddr(*addr, *addrFile, *wait)
+	if err != nil {
+		cliutil.Fatal("irbench", err)
+	}
+	base := "http://" + target
+	if err := awaitReady(base, *wait); err != nil {
+		cliutil.Fatal("irbench", err)
+	}
+	n, version, err := fetchSnapshot(base)
+	if err != nil {
+		cliutil.Fatal("irbench", err)
+	}
+	if n < 2 {
+		cliutil.Fatalf("irbench", "daemon serves %d switches; need at least 2", n)
+	}
+
+	type worker struct {
+		lat  []time.Duration
+		errs int
+	}
+	workers := make([]worker, *conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(*duration)
+	perWorkerInterval := time.Duration(0)
+	if *qps > 0 {
+		perWorkerInterval = time.Duration(float64(*conns) / *qps * float64(time.Second))
+	}
+	for w := 0; w < *conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// One transport per worker = one keep-alive connection each.
+			client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 1}}
+			r := rng.New(*seed + uint64(w)*0x9e3779b9)
+			me := &workers[w]
+			me.lat = make([]time.Duration, 0, 1<<16)
+			next := start
+			for i := 0; ; i++ {
+				now := time.Now()
+				if now.After(deadline) {
+					return
+				}
+				if perWorkerInterval > 0 {
+					if sleep := next.Sub(now); sleep > 0 {
+						time.Sleep(sleep)
+					}
+					next = next.Add(perWorkerInterval)
+				}
+				from := r.Intn(n)
+				to := r.Intn(n - 1)
+				if to >= from {
+					to++
+				}
+				var url string
+				if *endpoint == "route" {
+					url = fmt.Sprintf("%s/route?from=%d&to=%d", base, from, to)
+				} else {
+					url = fmt.Sprintf("%s/nexthop?at=%d&dst=%d", base, from, to)
+				}
+				t0 := time.Now()
+				resp, err := client.Get(url)
+				if err != nil {
+					me.errs++
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					me.errs++
+					continue
+				}
+				me.lat = append(me.lat, time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	errs := 0
+	for i := range workers {
+		all = append(all, workers[i].lat...)
+		errs += workers[i].errs
+	}
+	if len(all) == 0 {
+		cliutil.Fatalf("irbench", "no successful requests (%d errors)", errs)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	pct := func(p float64) float64 {
+		i := int(math.Ceil(p/100*float64(len(all)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return us(all[i])
+	}
+	var sum time.Duration
+	for _, d := range all {
+		sum += d
+	}
+
+	rep := report{
+		Bench:           "irnetd",
+		Endpoint:        *endpoint,
+		Addr:            target,
+		Switches:        n,
+		SnapshotVersion: version,
+		Conns:           *conns,
+		TargetQPS:       *qps,
+		AchievedQPS:     float64(len(all)) / elapsed.Seconds(),
+		Requests:        len(all) + errs,
+		Errors:          errs,
+		DurationSeconds: elapsed.Seconds(),
+		LatencyUS: latencyReport{
+			MeanUS: us(sum / time.Duration(len(all))),
+			P50US:  pct(50),
+			P90US:  pct(90),
+			P99US:  pct(99),
+			P999US: pct(99.9),
+			MaxUS:  us(all[len(all)-1]),
+		},
+	}
+
+	fmt.Printf("irbench: %s %s  %d switches, snapshot v%d\n", rep.Endpoint, rep.Addr, n, version)
+	fmt.Printf("  %d requests in %.2fs over %d conns: %.0f qps (target %.0f), %d errors\n",
+		rep.Requests, rep.DurationSeconds, rep.Conns, rep.AchievedQPS, rep.TargetQPS, errs)
+	fmt.Printf("  latency µs: mean %.0f  p50 %.0f  p90 %.0f  p99 %.0f  p99.9 %.0f  max %.0f\n",
+		rep.LatencyUS.MeanUS, rep.LatencyUS.P50US, rep.LatencyUS.P90US,
+		rep.LatencyUS.P99US, rep.LatencyUS.P999US, rep.LatencyUS.MaxUS)
+
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			cliutil.Fatal("irbench", err)
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			cliutil.Fatal("irbench", err)
+		}
+		fmt.Printf("  wrote %s\n", *jsonOut)
+	}
+	if errs > 0 {
+		os.Exit(cliutil.ExitFailure)
+	}
+}
+
+// resolveAddr returns the daemon address from -addr, or polls -addr-file
+// until irnetd writes it (or the wait budget runs out).
+func resolveAddr(addr, addrFile string, wait time.Duration) (string, error) {
+	if addr != "" {
+		return addr, nil
+	}
+	if addrFile == "" {
+		return "", fmt.Errorf("one of -addr or -addr-file is required")
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		raw, err := os.ReadFile(addrFile)
+		if err == nil {
+			if s := strings.TrimSpace(string(raw)); s != "" {
+				return s, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("address file %s not written within %s", addrFile, wait)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func awaitReady(base string, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("daemon at %s not ready within %s: %v", base, wait, err)
+			}
+			return fmt.Errorf("daemon at %s not ready within %s", base, wait)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func fetchSnapshot(base string) (n int, version uint64, err error) {
+	resp, err := http.Get(base + "/snapshot")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var sn struct {
+		Version  uint64 `json:"version"`
+		Switches int    `json:"switches"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sn); err != nil {
+		return 0, 0, fmt.Errorf("bad /snapshot answer: %v", err)
+	}
+	return sn.Switches, sn.Version, nil
+}

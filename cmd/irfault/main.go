@@ -31,8 +31,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
-	"os"
 	"strconv"
 	"strings"
 
@@ -41,8 +39,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("irfault: ")
 	var (
 		study    = flag.String("study", "sweep", "study to run: sweep (drain/drop policy comparison) or recovery (immediate reconfiguration under online recovery)")
 		switches = flag.Int("switches", 32, "switch count for the random networks")
@@ -68,26 +64,26 @@ func main() {
 
 	alg := irnet.AlgorithmByName(*algName)
 	if alg == nil {
-		log.Fatalf("unknown algorithm %q", *algName)
+		cliutil.Usagef("irfault", "unknown algorithm %q", *algName)
 	}
 	pol, err := cliutil.ParsePolicy(*policy)
 	if err != nil {
-		log.Fatal(err)
+		cliutil.Usagef("irfault", "%v", err)
 	}
 	sweep, err := parseInts(*links)
 	if err != nil {
-		log.Fatalf("-links: %v", err)
+		cliutil.Usagef("irfault", "-links: %v", err)
 	}
 
 	switch *study {
 	case "sweep":
 		if set["detect-interval"] || set["max-retries"] || set["backoff"] {
-			log.Fatal("-detect-interval, -max-retries, and -backoff apply to -study recovery only")
+			cliutil.Usagef("irfault", "-detect-interval, -max-retries, and -backoff apply to -study recovery only")
 		}
 		runSweep(alg, pol, sweep, switches, ports, samples, seed, rate, plen, warmup, measure, recovery)
 	case "recovery":
 		if set["recovery"] {
-			log.Fatal("-recovery applies to -study sweep only (the recovery study always reconfigures immediately)")
+			cliutil.Usagef("irfault", "-recovery applies to -study sweep only (the recovery study always reconfigures immediately)")
 		}
 		// Flags left at their defaults keep the study's tuned values, so a
 		// bare `irfault -study recovery` runs the canonical sweep.
@@ -135,7 +131,7 @@ func main() {
 		}
 		fmt.Print(irnet.FormatRecovery(res))
 	default:
-		log.Fatalf("unknown study %q (want sweep or recovery)", *study)
+		cliutil.Usagef("irfault", "unknown study %q (want sweep or recovery)", *study)
 	}
 }
 
@@ -157,7 +153,7 @@ func runSweep(alg irnet.Algorithm, pol irnet.TreePolicy, sweep []int,
 			// below. Use -study recovery for the recovered variant.
 			recoveries = append(recoveries, irnet.ImmediateRecovery)
 		default:
-			log.Fatalf("unknown recovery policy %q", s)
+			cliutil.Usagef("irfault", "unknown recovery policy %q", s)
 		}
 	}
 
@@ -185,11 +181,7 @@ func runSweep(alg irnet.Algorithm, pol irnet.TreePolicy, sweep []int,
 // fatal prints structured deadlock/livelock diagnostics when the error
 // carries them, and exits non-zero either way.
 func fatal(err error) {
-	if msg, ok := cliutil.Diagnose(err); ok {
-		fmt.Fprint(os.Stderr, "irfault: "+msg)
-		os.Exit(1)
-	}
-	log.Fatal(err)
+	cliutil.Fatal("irfault", err)
 }
 
 func parseInts(s string) ([]int, error) {

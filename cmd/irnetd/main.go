@@ -1,0 +1,147 @@
+// Command irnetd serves DOWN/UP routing as a control-plane daemon: it
+// builds the coordinated tree and routing function for a topology, compiles
+// the FIB, and answers route / next-hop / topology queries over HTTP from an
+// atomically swapped immutable snapshot. Topology events (POST
+// /topology/kill-link, kill-switch, reset) trigger a hitless
+// reconfiguration: in-flight queries finish on the old snapshot, new ones
+// see the new one, and none fail.
+//
+// Usage:
+//
+//	irnetd [-listen :8380] [-addr-file PATH]
+//	       [-topo random] [-switches 128] [-ports 4] [-seed 1]
+//	       [-policy M1] [-alg DOWN/UP] [-fib FILE] [-pprof]
+//	       [-drain 10s]
+//
+// SIGTERM or SIGINT drains gracefully: /readyz flips to 503, open requests
+// complete (up to -drain), and the process exits 0 after printing
+// "irnetd: drained".
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	irnet "repro"
+	"repro/internal/cliutil"
+	"repro/internal/fib"
+	"repro/internal/netd"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":8380", "listen address (use :0 for an ephemeral port)")
+		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening")
+		topo     = flag.String("topo", "random", "topology spec (see irtopo -help)")
+		switches = flag.Int("switches", 128, "switch count for random topologies")
+		ports    = flag.Int("ports", 4, "ports per switch for random topologies")
+		seed     = flag.Uint64("seed", 1, "random seed (topology and M2 tree policy)")
+		policy   = flag.String("policy", "M1", "coordinated tree policy (M1, M2, M3)")
+		algName  = flag.String("alg", "DOWN/UP", `routing algorithm ("DOWN/UP", "DOWN/UP(no-release)", "L-turn", "up*/down*", "right/left")`)
+		fibPath  = flag.String("fib", "", "serve this precompiled FIB artifact (validated against the topology)")
+		withProf = flag.Bool("pprof", false, "expose /debug/pprof/")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline after SIGTERM")
+	)
+	flag.Parse()
+
+	alg := irnet.AlgorithmByName(*algName)
+	if alg == nil {
+		cliutil.Usagef("irnetd", "unknown algorithm %q", *algName)
+	}
+	g, err := cliutil.ParseTopology(*topo, *switches, *ports, *seed)
+	if err != nil {
+		cliutil.Fatal("irnetd", err)
+	}
+	pol, err := cliutil.ParsePolicy(*policy)
+	if err != nil {
+		cliutil.Usagef("irnetd", "%v", err)
+	}
+	var initial *fib.FIB
+	if *fibPath != "" {
+		f, err := os.Open(*fibPath)
+		if err != nil {
+			cliutil.Fatal("irnetd", err)
+		}
+		initial, err = fib.Read(f)
+		f.Close()
+		if err != nil {
+			cliutil.Fatal("irnetd", fmt.Errorf("%s: %w", *fibPath, err))
+		}
+	}
+
+	svc, err := netd.New(netd.Config{
+		Graph:      g,
+		Algorithm:  alg,
+		Policy:     pol,
+		Seed:       *seed,
+		InitialFIB: initial,
+	})
+	if err != nil {
+		cliutil.Fatal("irnetd", err)
+	}
+
+	handler := svc.Handler()
+	if *withProf {
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", handler)
+		handler = outer
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		cliutil.Fatal("irnetd", err)
+	}
+	if *addrFile != "" {
+		// Write-then-rename so a polling reader never sees a partial address.
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			cliutil.Fatal("irnetd", err)
+		}
+		if err := os.Rename(tmp, filepath.Clean(*addrFile)); err != nil {
+			cliutil.Fatal("irnetd", err)
+		}
+	}
+
+	sn := svc.Snapshot()
+	fmt.Printf("irnetd: listening http://%s\n", ln.Addr())
+	fmt.Printf("irnetd: snapshot v%d  %s on %d switches, %d links, %d turn releases, %d-byte FIB\n",
+		sn.Version, sn.Algorithm, sn.LiveSwitches, sn.LiveLinks, sn.ReleasedTurns, sn.FIBSize())
+
+	srv := &http.Server{Handler: handler}
+	drained := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		sig := <-sigc
+		fmt.Printf("irnetd: %v received, draining (deadline %s)\n", sig, *drain)
+		svc.SetDraining(true)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "irnetd: drain incomplete: %v\n", err)
+			os.Exit(cliutil.ExitFailure)
+		}
+		close(drained)
+	}()
+
+	if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		cliutil.Fatal("irnetd", err)
+	}
+	<-drained
+	fmt.Println("irnetd: drained")
+}

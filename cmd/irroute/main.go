@@ -12,7 +12,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	irnet "repro"
@@ -22,8 +21,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("irroute: ")
 	var (
 		topo      = flag.String("topo", "random", "topology spec (see irtopo -help)")
 		switches  = flag.Int("switches", 128, "switch count for random topologies")
@@ -42,26 +39,26 @@ func main() {
 
 	alg := irnet.AlgorithmByName(*algName)
 	if alg == nil {
-		log.Fatalf("unknown algorithm %q", *algName)
+		cliutil.Usagef("irroute", "unknown algorithm %q", *algName)
 	}
 	g, err := cliutil.ParseTopology(*topo, *switches, *ports, *seed)
 	if err != nil {
-		log.Fatal(err)
+		cliutil.Fatal("irroute", err)
 	}
 	pol, err := cliutil.ParsePolicy(*policy)
 	if err != nil {
-		log.Fatal(err)
+		cliutil.Usagef("irroute", "%v", err)
 	}
 	b, err := irnet.NewBuild(g, pol, *seed)
 	if err != nil {
-		log.Fatal(err)
+		cliutil.Fatal("irroute", err)
 	}
 	fn, err := b.Route(alg)
 	if err != nil {
-		log.Fatal(err)
+		cliutil.Fatal("irroute", err)
 	}
 	if err := fn.Verify(); err != nil {
-		log.Fatalf("VERIFICATION FAILED: %v", err)
+		cliutil.Fatalf("irroute", "VERIFICATION FAILED: %v", err)
 	}
 	tb := irnet.NewTable(fn)
 
@@ -95,14 +92,14 @@ func main() {
 	if *stats {
 		st, err := tb.Stats(5000, rng.New(*seed))
 		if err != nil {
-			log.Fatal(err)
+			cliutil.Fatal("irroute", err)
 		}
 		fmt.Print(st.Format())
 	}
 	if *diversity {
 		d, err := tb.PathDiversity()
 		if err != nil {
-			log.Fatal(err)
+			cliutil.Fatal("irroute", err)
 		}
 		fmt.Printf("path diversity  %.3f paths/pair (geometric mean); %d of %d pairs multipath; max %.0f\n",
 			d.MeanPaths, d.MultiPathPairs, d.Pairs, d.MaxPaths)
@@ -110,27 +107,27 @@ func main() {
 	if *fibOut != "" {
 		fb, err := fib.Compile(tb)
 		if err != nil {
-			log.Fatal(err)
+			cliutil.Fatal("irroute", err)
 		}
 		out, err := os.Create(*fibOut)
 		if err != nil {
-			log.Fatal(err)
+			cliutil.Fatal("irroute", err)
 		}
 		if _, err := fb.WriteTo(out); err != nil {
-			log.Fatal(err)
+			cliutil.Fatal("irroute", err)
 		}
 		if err := out.Close(); err != nil {
-			log.Fatal(err)
+			cliutil.Fatal("irroute", err)
 		}
 		fmt.Printf("fib           %s (%d bytes of forwarding state)\n", *fibOut, fb.SizeBytes())
 	}
 	if *from >= 0 && *to >= 0 {
 		if *from >= g.N() || *to >= g.N() {
-			log.Fatalf("nodes out of range [0,%d)", g.N())
+			cliutil.Usagef("irroute", "nodes out of range [0,%d)", g.N())
 		}
 		path, err := tb.SamplePath(*from, *to, rng.New(*seed))
 		if err != nil {
-			log.Fatal(err)
+			cliutil.Fatal("irroute", err)
 		}
 		fmt.Printf("path %d -> %d (%d channels):", *from, *to, len(path))
 		for _, c := range path {

@@ -12,7 +12,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	irnet "repro"
@@ -21,8 +20,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("irtopo: ")
 	var (
 		topo     = flag.String("topo", "random", "topology spec (random, ring:N, mesh:WxH, torus:WxH, hypercube:D, tree:N, star:N, line:N, complete:N, petersen, figure1)")
 		switches = flag.Int("switches", 128, "switch count for random topologies")
@@ -38,15 +35,15 @@ func main() {
 
 	g, err := cliutil.ParseTopology(*topo, *switches, *ports, *seed)
 	if err != nil {
-		log.Fatal(err)
+		cliutil.Fatal("irtopo", err)
 	}
 	pol, err := cliutil.ParsePolicy(*policy)
 	if err != nil {
-		log.Fatal(err)
+		cliutil.Usagef("irtopo", "%v", err)
 	}
 	b, err := irnet.NewBuild(g, pol, *seed)
 	if err != nil {
-		log.Fatal(err)
+		cliutil.Fatal("irtopo", err)
 	}
 
 	degSum := 0
@@ -92,13 +89,13 @@ func main() {
 	if *outFile != "" {
 		f, err := os.Create(*outFile)
 		if err != nil {
-			log.Fatal(err)
+			cliutil.Fatal("irtopo", err)
 		}
 		if err := topology.Write(f, g); err != nil {
-			log.Fatal(err)
+			cliutil.Fatal("irtopo", err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			cliutil.Fatal("irtopo", err)
 		}
 		fmt.Println("saved", *outFile)
 	}

@@ -1,0 +1,29 @@
+package cliutil
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/wormsim"
+)
+
+func TestFormatErrorPlain(t *testing.T) {
+	got := FormatError("irtool", errors.New("file not found"))
+	if got != "irtool: file not found\n" {
+		t.Fatalf("FormatError = %q", got)
+	}
+}
+
+func TestFormatErrorStructured(t *testing.T) {
+	err := &wormsim.DeadlockError{Info: &wormsim.DeadlockInfo{
+		DetectedAt: 42, Algorithm: "DOWN/UP", FrozenFlits: 3, FrozenFor: 100,
+	}}
+	got := FormatError("irtool", err)
+	if !strings.HasPrefix(got, "irtool: deadlock detected at cycle 42") {
+		t.Fatalf("FormatError = %q", got)
+	}
+	if !strings.HasSuffix(got, "\n") {
+		t.Fatal("report does not end in a newline")
+	}
+}

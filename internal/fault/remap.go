@@ -29,6 +29,15 @@ type remapSource struct {
 
 var _ routing.PathSource = (*remapSource)(nil)
 
+// NewRemapSource wraps a PathSource built on the compacted surviving graph
+// so it answers queries in the original graph's node and channel ids — the
+// id space clients of a long-running service keep using across
+// reconfigurations. It is the exported form of the adapter the fault
+// runner installs on every rewire.
+func NewRemapSource(orig, sub *cgraph.CG, o2nNode, n2oNode []int, inner routing.PathSource) (routing.PathSource, error) {
+	return newRemap(orig, sub, o2nNode, n2oNode, inner)
+}
+
 // newRemap builds the adapter. o2nNode maps original node ids to the
 // surviving graph's compacted ids (-1 for dead switches), n2oNode the
 // reverse. Every surviving-graph channel must exist in orig.

@@ -98,6 +98,22 @@ func (s *Schedule) Validate(g *topology.Graph) error {
 	return nil
 }
 
+// ApplyEvent mutates g and dead per one event, validating it against the
+// current surviving topology (no such link, endpoint already dead, ...).
+// It is the single-event building block behind Validate, exported for
+// callers — like the control-plane daemon — that apply operator-initiated
+// failures one at a time rather than from a script.
+func ApplyEvent(g *topology.Graph, dead []bool, ev Event) error {
+	return apply(g, dead, ev)
+}
+
+// Connected reports whether the subgraph induced on the non-dead switches
+// is connected — the precondition for a routing rebuild to cover every
+// surviving pair.
+func Connected(g *topology.Graph, dead []bool) bool {
+	return connectedExcluding(g, dead)
+}
+
 // apply mutates the scratch topology per one event.
 func apply(g *topology.Graph, dead []bool, ev Event) error {
 	switch ev.Kind {

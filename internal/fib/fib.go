@@ -45,6 +45,12 @@ type FIB struct {
 // maxPorts is the largest port count a FIB can encode (bitmask width).
 const maxPorts = 16
 
+// maxSwitches bounds the switch count Read will accept. The cap keeps a
+// hostile header from provoking large allocations before any table bytes
+// have been seen; every network this repository builds is orders of
+// magnitude below it.
+const maxSwitches = 1 << 16
+
 // Compile builds the FIB for a routing function from its table. Every
 // (destination, input port) pair at every switch gets the exact set of
 // shortest legal output ports the table would offer.
@@ -206,6 +212,27 @@ func (f *FIB) WriteTo(w io.Writer) (int64, error) {
 	return count, bw.Flush()
 }
 
+// readTable decodes want uint16 table entries in bounded chunks, so a
+// header that promises a huge table backed by a truncated body fails with
+// an error after allocating at most one chunk beyond the bytes actually
+// present — the memory a decoder commits must be proportional to its
+// input, not to what the input claims.
+func readTable(r io.Reader, want int) ([]uint16, error) {
+	const chunk = 1 << 13 // 8192 entries = 16 KiB per read
+	tbl := make([]uint16, 0, min(want, chunk))
+	var raw [2 * chunk]byte
+	for len(tbl) < want {
+		k := min(want-len(tbl), chunk)
+		if _, err := io.ReadFull(r, raw[:2*k]); err != nil {
+			return nil, err
+		}
+		for i := 0; i < k; i++ {
+			tbl = append(tbl, binary.LittleEndian.Uint16(raw[2*i:]))
+		}
+	}
+	return tbl, nil
+}
+
 // Read deserializes a FIB written by WriteTo, validating structure.
 func Read(r io.Reader) (*FIB, error) {
 	br := bufio.NewReader(r)
@@ -227,7 +254,6 @@ func Read(r io.Reader) (*FIB, error) {
 	if err := binary.Read(br, binary.LittleEndian, &n32); err != nil {
 		return nil, err
 	}
-	const maxSwitches = 1 << 20
 	if n32 == 0 || n32 > maxSwitches {
 		return nil, fmt.Errorf("fib: implausible switch count %d", n32)
 	}
@@ -265,10 +291,11 @@ func Read(r io.Reader) (*FIB, error) {
 			}
 			f.neighbors[v][k] = int32(nb)
 		}
-		f.table[v] = make([]uint16, (int(ports)+1)*n)
-		if err := binary.Read(br, binary.LittleEndian, f.table[v]); err != nil {
-			return nil, err
+		tbl, err := readTable(br, (int(ports)+1)*n)
+		if err != nil {
+			return nil, fmt.Errorf("fib: switch %d table: %w", v, err)
 		}
+		f.table[v] = tbl
 		// Masks must fit the port count.
 		full := uint16(1)<<uint(ports) - 1
 		for i, mask := range f.table[v] {

@@ -1,0 +1,272 @@
+package metrics
+
+// Runtime metrics in Prometheus text exposition format. The paper metrics
+// above describe a finished simulation; a long-running control-plane
+// service (cmd/irnetd) instead needs live counters, gauges, and latency
+// histograms it can expose on /metrics. The instruments here are
+// dependency-free and safe for concurrent use, with lock-free Observe/Inc
+// hot paths — a query handler records a latency without taking any lock.
+//
+// A metric name may carry a literal label set, e.g.
+//
+//	reg.Counter(`irnetd_queries_total{endpoint="route",outcome="ok"}`)
+//
+// The full string identifies the series; WritePrometheus emits one # TYPE
+// header per metric family (the name up to the first '{') and splices
+// histogram "le" labels into any existing label set.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds a set of named instruments and renders them in Prometheus
+// text format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu    sync.Mutex
+	order []string
+	items map[string]instrument
+}
+
+type instrument interface {
+	// write emits the instrument's sample lines (no # TYPE header).
+	write(w io.Writer, name string)
+	// typeName is the Prometheus metric type for the # TYPE header.
+	typeName() string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{items: make(map[string]instrument)}
+}
+
+// lookup returns the instrument registered under name, creating it with
+// make if absent. It panics if name is already registered as a different
+// instrument type (programmer error: one name, one meaning).
+func (r *Registry) lookup(name string, make func() instrument) instrument {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if it, ok := r.items[name]; ok {
+		return it
+	}
+	it := make()
+	r.items[name] = it
+	r.order = append(r.order, name)
+	return it
+}
+
+// Counter returns the monotonically increasing counter registered under
+// name, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	it := r.lookup(name, func() instrument { return &Counter{} })
+	c, ok := it.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %q registered as %s, not counter", name, it.typeName()))
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	it := r.lookup(name, func() instrument { return &Gauge{} })
+	g, ok := it.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %q registered as %s, not gauge", name, it.typeName()))
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time —
+// the natural shape for derived quantities like "seconds since the last
+// snapshot swap". Re-registering the same name replaces the function.
+func (r *Registry) GaugeFunc(name string, f func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.items[name]; !ok {
+		r.order = append(r.order, name)
+	}
+	r.items[name] = gaugeFunc(f)
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given ascending bucket upper bounds (an implicit +Inf bucket is
+// always present). Buckets are fixed at first registration.
+func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
+	it := r.lookup(name, func() instrument { return newHistogram(buckets) })
+	h, ok := it.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %q registered as %s, not histogram", name, it.typeName()))
+	}
+	return h
+}
+
+// WritePrometheus renders every registered instrument in registration
+// order, with one # TYPE header per metric family.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	items := make([]instrument, len(names))
+	for i, n := range names {
+		items[i] = r.items[n]
+	}
+	r.mu.Unlock()
+
+	typed := make(map[string]bool)
+	for i, name := range names {
+		family := name
+		if j := strings.IndexByte(name, '{'); j >= 0 {
+			family = name[:j]
+		}
+		if !typed[family] {
+			typed[family] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", family, items[i].typeName())
+		}
+		items[i].write(w, name)
+	}
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative; counters never go down).
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) typeName() string { return "counter" }
+
+func (c *Counter) write(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s %d\n", name, c.v.Load())
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) typeName() string { return "gauge" }
+
+func (g *Gauge) write(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s %s\n", name, formatFloat(g.Value()))
+}
+
+type gaugeFunc func() float64
+
+func (f gaugeFunc) typeName() string { return "gauge" }
+
+func (f gaugeFunc) write(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s %s\n", name, formatFloat(f()))
+}
+
+// Histogram counts observations into fixed buckets, Prometheus-style:
+// cumulative bucket counts, a sum, and a total count.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // one per bound, plus +Inf at the end
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	bounds := append([]float64(nil), buckets...)
+	if !sort.Float64sAreSorted(bounds) {
+		panic("metrics: histogram buckets must be ascending")
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+func (h *Histogram) typeName() string { return "histogram" }
+
+func (h *Histogram) write(w io.Writer, name string) {
+	base, labels := name, ""
+	if j := strings.IndexByte(name, '{'); j >= 0 {
+		base = name[:j]
+		labels = strings.TrimSuffix(name[j+1:], "}")
+	}
+	bucketName := func(le string) string {
+		if labels == "" {
+			return fmt.Sprintf(`%s_bucket{le=%q}`, base, le)
+		}
+		return fmt.Sprintf(`%s_bucket{%s,le=%q}`, base, labels, le)
+	}
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s %d\n", bucketName(formatFloat(bound)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s %d\n", bucketName("+Inf"), cum)
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", base, suffix, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", base, suffix, h.count.Load())
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// round-trippable decimal, with +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ExponentialBuckets returns n bucket bounds starting at start, each factor
+// times the previous — the usual shape for latency histograms.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic("metrics: ExponentialBuckets needs start > 0, factor > 1, n > 0")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryRendersAllInstrumentKinds(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(`q_total{endpoint="route"}`).Add(3)
+	reg.Counter(`q_total{endpoint="nexthop"}`).Inc()
+	reg.Gauge("snapshot_version").Set(7)
+	reg.GaugeFunc("snapshot_age_seconds", func() float64 { return 1.5 })
+	h := reg.Histogram("latency_seconds", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(2)
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE q_total counter",
+		`q_total{endpoint="route"} 3`,
+		`q_total{endpoint="nexthop"} 1`,
+		"# TYPE snapshot_version gauge",
+		"snapshot_version 7",
+		"snapshot_age_seconds 1.5",
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.001"} 1`,
+		`latency_seconds_bucket{le="0.01"} 1`,
+		`latency_seconds_bucket{le="0.1"} 2`,
+		`latency_seconds_bucket{le="+Inf"} 3`,
+		"latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The # TYPE header for a family with several series appears once.
+	if n := strings.Count(out, "# TYPE q_total counter"); n != 1 {
+		t.Errorf("q_total TYPE header appears %d times", n)
+	}
+	if got, want := h.Sum(), 0.0005+0.05+2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("histogram sum = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramLabeledBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram(`lat{endpoint="route"}`, []float64{1})
+	h.Observe(0.5)
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	for _, want := range []string{
+		`lat_bucket{endpoint="route",le="1"} 1`,
+		`lat_bucket{endpoint="route",le="+Inf"} 1`,
+		`lat_sum{endpoint="route"} 0.5`,
+		`lat_count{endpoint="route"} 1`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestRegistryGetOrCreateReturnsSameInstrument(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Counter("c") != reg.Counter("c") {
+		t.Error("Counter did not return the registered instance")
+	}
+	if reg.Gauge("g") != reg.Gauge("g") {
+		t.Error("Gauge did not return the registered instance")
+	}
+	if reg.Histogram("h", []float64{1}) != reg.Histogram("h", nil) {
+		t.Error("Histogram did not return the registered instance")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering x as a gauge after counter did not panic")
+		}
+	}()
+	reg.Gauge("x")
+}
+
+// TestInstrumentsConcurrent exercises the lock-free hot paths under the
+// race detector and checks no observation is lost.
+func TestInstrumentsConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c")
+	h := reg.Histogram("h", ExponentialBuckets(1e-6, 10, 6))
+	g := reg.Gauge("g")
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(1e-5)
+				g.Set(float64(w))
+			}
+		}(w)
+	}
+	// Scrape concurrently with the writers.
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	if got, want := h.Sum(), float64(workers*per)*1e-5; math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("histogram sum = %v, want %v", got, want)
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	got := ExponentialBuckets(1, 10, 3)
+	want := []float64{1, 10, 100}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

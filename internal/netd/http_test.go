@@ -1,0 +1,225 @@
+package netd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/fib"
+)
+
+func testHTTP(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	s := testService(t, 24, 4, 17)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return s, srv
+}
+
+func getJSON(t *testing.T, url string, wantCode int, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s = %d, want %d\n%s", url, resp.StatusCode, wantCode, body)
+	}
+	if v != nil {
+		if err := json.Unmarshal(body, v); err != nil {
+			t.Fatalf("GET %s: bad JSON %v\n%s", url, err, body)
+		}
+	}
+}
+
+func postJSON(t *testing.T, url string, wantCode int, v any) {
+	t.Helper()
+	resp, err := http.Post(url, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("POST %s = %d, want %d\n%s", url, resp.StatusCode, wantCode, body)
+	}
+	if v != nil {
+		if err := json.Unmarshal(body, v); err != nil {
+			t.Fatalf("POST %s: bad JSON %v\n%s", url, err, body)
+		}
+	}
+}
+
+func TestHTTPRouteEndpoint(t *testing.T) {
+	s, srv := testHTTP(t)
+	var rr routeResponse
+	getJSON(t, srv.URL+"/route?from=0&to=9", http.StatusOK, &rr)
+	if rr.Version != 1 || rr.From != 0 || rr.To != 9 || rr.Hops != len(rr.Path) || rr.Hops == 0 {
+		t.Fatalf("route response %+v", rr)
+	}
+	assertWalk(t, s.Snapshot(), 0, 9, rr.Path)
+	if rr.Algorithm != "DOWN/UP" {
+		t.Fatalf("algorithm = %q", rr.Algorithm)
+	}
+
+	// Sampled mode with a pinned seed is deterministic.
+	var s1, s2 routeResponse
+	getJSON(t, srv.URL+"/route?from=3&to=20&mode=sample&seed=42", http.StatusOK, &s1)
+	getJSON(t, srv.URL+"/route?from=3&to=20&mode=sample&seed=42", http.StatusOK, &s2)
+	if fmt.Sprint(s1.Path) != fmt.Sprint(s2.Path) {
+		t.Fatalf("sampled route not deterministic: %v vs %v", s1.Path, s2.Path)
+	}
+	assertWalk(t, s.Snapshot(), 3, 20, s1.Path)
+
+	// Error classification.
+	getJSON(t, srv.URL+"/route?from=0", http.StatusBadRequest, nil)      // missing to
+	getJSON(t, srv.URL+"/route?from=0&to=x", http.StatusBadRequest, nil) // non-numeric
+	getJSON(t, srv.URL+"/route?from=0&to=999", http.StatusNotFound, nil) // no such switch
+	getJSON(t, srv.URL+"/route?from=0&to=5&mode=zig", http.StatusBadRequest, nil)
+}
+
+func TestHTTPNextHopEndpoint(t *testing.T) {
+	_, srv := testHTTP(t)
+	var nr nexthopResponse
+	getJSON(t, srv.URL+"/nexthop?at=0&dst=9", http.StatusOK, &nr)
+	if nr.Version != 1 || len(nr.Next) == 0 {
+		t.Fatalf("nexthop response %+v", nr)
+	}
+	// Ejection at the destination: empty, not an error.
+	getJSON(t, srv.URL+"/nexthop?at=9&dst=9", http.StatusOK, &nr)
+	if len(nr.Next) != 0 {
+		t.Fatalf("ejection next hops = %v, want none", nr.Next)
+	}
+	getJSON(t, srv.URL+"/nexthop?at=0&dst=9&from=999", http.StatusNotFound, nil)
+}
+
+func TestHTTPSnapshotTopologyAndFIB(t *testing.T) {
+	s, srv := testHTTP(t)
+	var snr snapshotResponse
+	getJSON(t, srv.URL+"/snapshot", http.StatusOK, &snr)
+	if snr.Version != 1 || snr.Switches != 24 || snr.LiveSwitches != 24 {
+		t.Fatalf("snapshot response %+v", snr)
+	}
+	var tr topologyResponse
+	getJSON(t, srv.URL+"/topology", http.StatusOK, &tr)
+	if tr.Switches != 24 || len(tr.Links) != snr.LiveLinks || len(tr.DeadSwitches) != 0 {
+		t.Fatalf("topology response %+v", tr)
+	}
+
+	resp, err := http.Get(srv.URL + "/fib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	decoded, err := fib.Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("downloaded FIB does not decode: %v", err)
+	}
+	if decoded.N() != 24 {
+		t.Fatalf("downloaded FIB has %d switches", decoded.N())
+	}
+	if got := resp.Header.Get("X-Irnetd-Snapshot-Version"); got != "1" {
+		t.Fatalf("FIB version header = %q", got)
+	}
+	if decoded.N() != s.Snapshot().LiveSwitches {
+		t.Fatalf("downloaded FIB switches %d != live %d", decoded.N(), s.Snapshot().LiveSwitches)
+	}
+}
+
+func TestHTTPReconfigureFlow(t *testing.T) {
+	s, srv := testHTTP(t)
+	// Find a killable link via the fault machinery indirectly: ask the
+	// service to kill each link until one succeeds (bridges are refused
+	// with 409 and change nothing).
+	var killed bool
+	var after snapshotResponse
+	for _, e := range s.Snapshot().Links() {
+		resp, err := http.Post(fmt.Sprintf("%s/topology/kill-link?u=%d&v=%d", srv.URL, e.From, e.To), "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(body, &after); err != nil {
+				t.Fatal(err)
+			}
+			killed = true
+			break
+		}
+		if resp.StatusCode != http.StatusConflict {
+			t.Fatalf("kill-link = %d\n%s", resp.StatusCode, body)
+		}
+	}
+	if !killed {
+		t.Fatal("no link could be killed")
+	}
+	if after.Version != 2 {
+		t.Fatalf("post-kill version = %d, want 2", after.Version)
+	}
+	// Unknown link -> 404; missing params -> 400.
+	postJSON(t, srv.URL+"/topology/kill-link?u=0&v=0", http.StatusNotFound, nil)
+	postJSON(t, srv.URL+"/topology/kill-link?u=0", http.StatusBadRequest, nil)
+	// Reset restores everything and bumps the version again.
+	postJSON(t, srv.URL+"/topology/reset", http.StatusOK, &after)
+	if after.Version != 3 || after.LiveLinks != s.Snapshot().LiveLinks {
+		t.Fatalf("post-reset %+v", after)
+	}
+}
+
+func TestHTTPProbesAndMetrics(t *testing.T) {
+	s, srv := testHTTP(t)
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s = %d", path, resp.StatusCode)
+		}
+	}
+	// Draining flips readyz to 503 but leaves healthz alone.
+	s.SetDraining(true)
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz = %d, want 503", resp.StatusCode)
+	}
+	s.SetDraining(false)
+
+	// Metrics include the query counters fed by the handlers above... so
+	// make one query first.
+	getJSON(t, srv.URL+"/route?from=0&to=5", http.StatusOK, nil)
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{
+		"# TYPE irnetd_queries_total counter",
+		`irnetd_queries_total{endpoint="route",outcome="ok"}`,
+		"# TYPE irnetd_query_duration_seconds histogram",
+		"irnetd_snapshot_version 1",
+		"irnetd_snapshot_live_switches 24",
+		"irnetd_snapshot_age_seconds",
+		`irnetd_route_queries_total{algorithm="DOWN/UP"}`,
+		"irnetd_reconvergence_duration_seconds_count",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

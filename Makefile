@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench servebench paper quick verify examples faults recovery fuzz clean
+.PHONY: all build test race bench benchall lint-docs servebench paper quick verify examples faults recovery fuzz clean
 
 all: build test
 
@@ -16,9 +16,24 @@ test:
 race:
 	$(GO) test -race ./...
 
-# One benchmark per paper table/figure plus ablations (quick scale).
+# Engine performance comparison: time the event-driven fast path against
+# the full-scan baseline on the paper's 128-switch networks and write the
+# report (cycles/sec, ns/flit-hop, allocs/cycle, speedup) to
+# results/BENCH_wormsim.json. The engines are byte-identical (see
+# TestEnginesByteIdentical), so this is purely a speed measurement.
 bench:
+	mkdir -p results
+	$(GO) run ./cmd/irperf -json results/BENCH_wormsim.json
+
+# One benchmark per paper table/figure plus ablations (quick scale), and
+# the engine microbenchmarks (BenchmarkRunCycles/BenchmarkSweep).
+benchall:
 	$(GO) test -bench=. -benchmem ./...
+
+# Godoc gate: every exported symbol in the documented core packages must
+# carry a doc comment (see cmd/doclint).
+lint-docs:
+	$(GO) run ./cmd/doclint
 
 # Serving benchmark: start irnetd on an ephemeral port, drive it with
 # irbench at the paper topology scale (128 switches, 4 ports), and write

@@ -44,6 +44,7 @@ func main() {
 		rates    = flag.String("rates", "", "override injection-rate sweep (comma-separated)")
 		policies = flag.String("policies", "", "override tree policies (e.g. M1,M3)")
 		adaptive = flag.Bool("adaptive", false, "use per-hop adaptive routing")
+		engine   = flag.String("engine", "event", "simulation engine: event (fast path) or scan (baseline); results are byte-identical")
 		csvPath  = flag.String("csv", "", "also write raw observations to this CSV file")
 		svgDir   = flag.String("svg", "", "also write figure8-<ports>port.svg charts to this directory")
 		quiet    = flag.Bool("quiet", false, "suppress progress lines")
@@ -88,6 +89,14 @@ func main() {
 	}
 	if *adaptive {
 		opts.Mode = irnet.Adaptive
+	}
+	switch *engine {
+	case "event":
+		opts.Engine = irnet.EngineEvent
+	case "scan":
+		opts.Engine = irnet.EngineScan
+	default:
+		log.Fatalf("unknown engine %q", *engine)
 	}
 	if !*quiet {
 		opts.Progress = os.Stderr

@@ -7,7 +7,14 @@
 //	      [-alg DOWN/UP] [-rate 0.1] [-plen 128] [-warmup 4000]
 //	      [-measure 16000] [-adaptive] [-pattern uniform] [-util]
 //	      [-recover] [-detect-interval 512] [-max-retries 4] [-backoff 64]
-//	      [-livelock 0]
+//	      [-livelock 0] [-engine event] [-cpuprofile cpu.pprof]
+//	      [-memprofile mem.pprof]
+//
+// -engine selects the cycle-loop implementation: the event-driven fast
+// path (default) or the full-scan baseline; the two are byte-identical in
+// output, so the flag exists for benchmarking and differential debugging.
+// -cpuprofile/-memprofile capture pprof profiles of the simulation for
+// `go tool pprof`.
 //
 // With -recover the simulator breaks wait-for cycles online by aborting and
 // re-injecting a victim packet instead of failing the run; unverified
@@ -21,6 +28,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -54,6 +63,9 @@ func main() {
 		util     = flag.Bool("util", false, "print per-node utilization")
 		profile  = flag.Bool("profile", false, "print the per-tree-level utilization profile")
 
+		engine     = flag.String("engine", "event", "simulation engine: event (fast path) or scan (baseline); results are byte-identical")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (taken after the simulation) to this file")
 		recovered  = flag.Bool("recover", false, "enable online deadlock recovery (abort-and-retry); also permits simulating unverified routing functions")
 		detect     = flag.Int("detect-interval", 0, "online detector scan period in cycles (0 = default)")
 		maxRetries = flag.Int("max-retries", 0, "abort/re-inject attempts per packet before discarding (0 = default)")
@@ -104,6 +116,14 @@ func main() {
 		RetryBackoff:      *backoff,
 		LivelockThreshold: *livelock,
 	}
+	switch *engine {
+	case "event":
+		cfg.Engine = irnet.EngineEvent
+	case "scan":
+		cfg.Engine = irnet.EngineScan
+	default:
+		log.Fatalf("unknown engine %q", *engine)
+	}
 	switch *sel {
 	case "random":
 	case "first":
@@ -144,7 +164,30 @@ func main() {
 		log.Fatalf("unknown pattern %q", *pattern)
 	}
 
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			log.Fatal(err)
+		}
+	}
 	res, err := irnet.Simulate(fn, tb, cfg)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		pf, perr := os.Create(*memprofile)
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		runtime.GC() // settle the heap so the profile shows retained memory
+		if perr := pprof.WriteHeapProfile(pf); perr != nil {
+			log.Fatal(perr)
+		}
+		pf.Close()
+	}
 	if err != nil {
 		if msg, ok := cliutil.Diagnose(err); ok {
 			fmt.Fprint(os.Stderr, "irsim: "+msg)

@@ -60,6 +60,10 @@ type Options struct {
 	MeasureCycles int
 	// Mode selects source-routed (paper) or adaptive simulation.
 	Mode wormsim.Mode
+	// Engine selects the simulator's cycle-loop implementation (default:
+	// the event-driven fast path). Both engines are byte-identical in
+	// output; the scan baseline exists for benchmarking comparisons.
+	Engine wormsim.Engine
 	// VirtualChannels per physical channel (0 or 1 = plain wormhole, the
 	// paper's configuration).
 	VirtualChannels int
@@ -163,6 +167,7 @@ type CellKey struct {
 	Algorithm string
 }
 
+// String renders the cell key as "<ports>-port/<policy>/<algorithm>".
 func (k CellKey) String() string {
 	return fmt.Sprintf("%d-port/%s/%s", k.Ports, k.Policy, k.Algorithm)
 }
@@ -384,6 +389,7 @@ func Run(opts Options) (*Results, error) {
 			VirtualChannels: opts.VirtualChannels,
 			InjectionRate:   opts.Rates[ri],
 			Mode:            opts.Mode,
+			Engine:          opts.Engine,
 			WarmupCycles:    opts.WarmupCycles,
 			MeasureCycles:   opts.MeasureCycles,
 			Seed:            deriveSeed(opts.Seed, uint64(cs.pi), uint64(cs.si), uint64(cs.poli), uint64(cs.ai)+2, uint64(ri)+1),

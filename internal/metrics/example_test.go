@@ -1,0 +1,48 @@
+package metrics_test
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// ExampleRegistry_WritePrometheus builds a few instruments, renders them in
+// Prometheus text exposition format, and decodes one sample back out of the
+// text — the round trip a scraper performs against irnetd's /metrics.
+func ExampleRegistry_WritePrometheus() {
+	reg := metrics.NewRegistry()
+	reg.Counter(`queries_total{outcome="ok"}`).Add(41)
+	reg.Counter(`queries_total{outcome="error"}`).Inc()
+	reg.Gauge("topology_version").Set(2)
+	h := reg.Histogram("query_millis", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var text strings.Builder
+	reg.WritePrometheus(&text)
+	fmt.Print(text.String())
+
+	// Decode: a scraper splits each sample line into name and value.
+	sc := bufio.NewScanner(strings.NewReader(text.String()))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, `queries_total{outcome="ok"}`) {
+			fmt.Println("decoded ok-count =", strings.Fields(line)[1])
+		}
+	}
+	// Output:
+	// # TYPE queries_total counter
+	// queries_total{outcome="ok"} 41
+	// queries_total{outcome="error"} 1
+	// # TYPE topology_version gauge
+	// topology_version 2
+	// # TYPE query_millis histogram
+	// query_millis_bucket{le="1"} 1
+	// query_millis_bucket{le="10"} 2
+	// query_millis_bucket{le="+Inf"} 2
+	// query_millis_sum 2.5
+	// query_millis_count 2
+	// decoded ok-count = 41
+}

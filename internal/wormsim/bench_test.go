@@ -1,0 +1,118 @@
+package wormsim
+
+// Engine microbenchmarks and the steady-state allocation regression test.
+// BenchmarkRunCycles times single cycles of a warmed paper-scale network
+// under both engines (the speedup ratio is what results/BENCH_wormsim.json
+// records); BenchmarkSweep times a whole small run end to end, New included.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// benchConfigs are the network shapes the perf pipeline tracks: the paper's
+// 128-switch networks at both port counts, under paper-scale load.
+var benchConfigs = []struct {
+	name  string
+	ports int
+	rate  float64
+}{
+	{"128sw-4port", 4, 0.1},
+	{"128sw-8port", 8, 0.1},
+}
+
+func BenchmarkRunCycles(b *testing.B) {
+	for _, bc := range benchConfigs {
+		for _, engine := range []Engine{EngineScan, EngineEvent} {
+			b.Run(bc.name+"/"+engine.String(), func(b *testing.B) {
+				f, tb := randomFn(b, 1, 128, bc.ports, core.DownUp{})
+				sim, err := New(f, tb, Config{
+					InjectionRate: bc.rate,
+					WarmupCycles:  NoWarmup,
+					MeasureCycles: 1 << 30,
+					Seed:          1,
+					Engine:        engine,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sim.RunCycles(2000); err != nil {
+					b.Fatal(err) // warm the network to steady state
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				if err := sim.RunCycles(b.N); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkSweep(b *testing.B) {
+	for _, engine := range []Engine{EngineScan, EngineEvent} {
+		b.Run(engine.String(), func(b *testing.B) {
+			f, tb := randomFn(b, 2, 32, 4, core.DownUp{})
+			cfg := Config{
+				PacketLength:  32,
+				InjectionRate: 0.1,
+				WarmupCycles:  500,
+				MeasureCycles: 4000,
+				Seed:          3,
+				Engine:        engine,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim, err := New(f, tb, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sim.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestSteadyStateAllocs pins the event engine's no-allocation guarantee:
+// once the network is warm and the unbounded ledgers (the packet table, the
+// latency sample, the source queues) have been given room, a simulation
+// cycle allocates nothing. Adaptive mode is used because source-routed
+// packets intrinsically allocate their route slice at creation.
+func TestSteadyStateAllocs(t *testing.T) {
+	f, tb := randomFn(t, 21, 32, 4, core.DownUp{})
+	sim, err := New(f, tb, Config{
+		Mode:          Adaptive,
+		PacketLength:  8,
+		InjectionRate: 0.2,
+		WarmupCycles:  NoWarmup,
+		MeasureCycles: 1 << 30,
+		Seed:          5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunCycles(5000); err != nil {
+		t.Fatal(err)
+	}
+	// Pre-reserve the growth inherent to an ever-running simulation so the
+	// measurement isolates the cycle loop's own behavior.
+	sim.packets = append(make([]packet, 0, len(sim.packets)+1<<16), sim.packets...)
+	sim.latencies = append(make([]int32, 0, len(sim.latencies)+1<<16), sim.latencies...)
+	for v := range sim.queues {
+		q := make([]int32, len(sim.queues[v]), 4096)
+		copy(q, sim.queues[v])
+		sim.queues[v] = q
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		if err := sim.RunCycles(1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0 {
+		t.Fatalf("steady-state cycle allocates: %v allocs/cycle, want 0", avg)
+	}
+}

@@ -35,6 +35,8 @@ type BlockedVC struct {
 	From, To int
 }
 
+// String renders the blocked lane as "ch(c)/vc(v) pkt p" (or "inj(n) pkt
+// p" for an injection lane).
 func (b BlockedVC) String() string {
 	if b.Channel < 0 {
 		return fmt.Sprintf("inj(%d) pkt %d", b.Node, b.Packet)
@@ -81,6 +83,8 @@ type DeadlockError struct {
 	Info *DeadlockInfo
 }
 
+// Error renders the deadlock diagnostic as a one-line summary; the
+// structured detail stays in Info.
 func (e *DeadlockError) Error() string {
 	d := e.Info
 	return fmt.Sprintf("wormsim: deadlock detected at cycle %d (%d flits frozen for %d cycles) under %s: %s",

@@ -1,0 +1,233 @@
+package wormsim
+
+// Differential determinism tests: the event-driven engine (EngineEvent)
+// must produce byte-identical results to the scan engine (EngineScan) for
+// every scenario class the simulator supports — clean runs across modes,
+// virtual channels, selection functions, traffic patterns, and loads; runs
+// with mid-flight fault injection; runs under online deadlock recovery;
+// and failing runs (deadlock, livelock), whose structured diagnostics and
+// error strings must match too. "Byte-identical" is checked literally:
+// the JSON encodings of the two Results are compared byte for byte, and so
+// are the per-packet CSV traces.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/traffic"
+)
+
+// diffDrive runs one simulator to completion; scenarios override it to
+// interleave fault injection with RunCycles.
+type diffDrive func(sim *Simulator) (*Result, error)
+
+func driveRun(sim *Simulator) (*Result, error) { return sim.Run() }
+
+// driveKills injects channel kills and a drop mid-run: a third of the way
+// in it kills two channels, pauses injection for a stretch (static
+// draining), drops whatever is still in flight, and resumes.
+func driveKills(total int) diffDrive {
+	return func(sim *Simulator) (*Result, error) {
+		third := total / 3
+		if err := sim.RunCycles(third); err != nil {
+			return sim.Finish(), err
+		}
+		sim.KillChannel(0)
+		sim.KillChannel(2)
+		sim.PauseInjection(true)
+		if err := sim.RunCycles(third); err != nil {
+			return sim.Finish(), err
+		}
+		sim.DropInFlight()
+		sim.PauseInjection(false)
+		if err := sim.RunCycles(total - 2*third); err != nil {
+			return sim.Finish(), err
+		}
+		return sim.Finish(), nil
+	}
+}
+
+func TestEnginesByteIdentical(t *testing.T) {
+	base := Config{
+		PacketLength:  32,
+		InjectionRate: 0.1,
+		WarmupCycles:  500,
+		MeasureCycles: 4000,
+		Seed:          7,
+	}
+	at := func(mut func(c *Config)) Config {
+		c := base
+		mut(&c)
+		return c
+	}
+	ring := func(n int) func(t *testing.T) (*routing.Function, *routing.Table) {
+		return func(t *testing.T) (*routing.Function, *routing.Table) { return unrestrictedRing(t, n) }
+	}
+	net := func(seed uint64, ports int, alg routing.Algorithm) func(t *testing.T) (*routing.Function, *routing.Table) {
+		return func(t *testing.T) (*routing.Function, *routing.Table) {
+			return randomFn(t, seed, 32, ports, alg)
+		}
+	}
+	recoverRing := recoveringRingConfig()
+
+	scenarios := []struct {
+		name    string
+		build   func(t *testing.T) (*routing.Function, *routing.Table)
+		cfg     Config
+		drive   diffDrive // nil = plain Run
+		wantErr bool
+	}{
+		{name: "downup/light", build: net(1, 4, core.DownUp{}), cfg: base},
+		{name: "downup/seed2", build: net(2, 4, core.DownUp{}), cfg: at(func(c *Config) { c.Seed = 99 })},
+		{name: "downup/saturated", build: net(3, 4, core.DownUp{}), cfg: at(func(c *Config) { c.InjectionRate = 0.6 })},
+		{name: "lturn/light", build: net(1, 4, routing.LTurn{}), cfg: base},
+		{name: "lturn/8port", build: net(4, 8, routing.LTurn{}), cfg: at(func(c *Config) { c.InjectionRate = 0.3 })},
+		{name: "downup/2vc", build: net(5, 4, core.DownUp{}), cfg: at(func(c *Config) { c.VirtualChannels = 2; c.InjectionRate = 0.3 })},
+		{name: "downup/4vc-depth2", build: net(6, 4, core.DownUp{}), cfg: at(func(c *Config) { c.VirtualChannels = 4; c.BufferDepth = 2 })},
+		{name: "adaptive/random", build: net(7, 4, core.DownUp{}), cfg: at(func(c *Config) { c.Mode = Adaptive; c.InjectionRate = 0.3 })},
+		{name: "adaptive/first", build: net(8, 4, core.DownUp{}), cfg: at(func(c *Config) { c.Mode = Adaptive; c.Select = SelectFirst })},
+		{name: "adaptive/least-loaded-2vc", build: net(9, 4, core.DownUp{}), cfg: at(func(c *Config) { c.Mode = Adaptive; c.Select = SelectLeastLoaded; c.VirtualChannels = 2 })},
+		{name: "deterministic", build: net(10, 4, core.DownUp{}), cfg: at(func(c *Config) { c.Mode = Deterministic })},
+		{name: "bursty", build: net(11, 4, core.DownUp{}), cfg: at(func(c *Config) { c.MeanBurst = 4; c.InjectionRate = 0.2 })},
+		{name: "hotspot", build: net(12, 4, core.DownUp{}), cfg: at(func(c *Config) { c.Pattern = traffic.Hotspot{N: 32, Spots: []int{3}, Fraction: 0.3} })},
+		{name: "nowarmup", build: net(13, 4, core.DownUp{}), cfg: at(func(c *Config) { c.WarmupCycles = NoWarmup })},
+		{name: "plen1", build: net(14, 4, core.DownUp{}), cfg: at(func(c *Config) { c.PacketLength = 1; c.InjectionRate = 0.05 })},
+		{name: "faults/source-routed", build: net(15, 4, core.DownUp{}), cfg: base, drive: driveKills(base.WarmupCycles + base.MeasureCycles)},
+		{name: "faults/adaptive", build: net(16, 4, core.DownUp{}), cfg: at(func(c *Config) { c.Mode = Adaptive }), drive: driveKills(base.WarmupCycles + base.MeasureCycles)},
+		{name: "faults/2vc", build: net(17, 4, core.DownUp{}), cfg: at(func(c *Config) { c.VirtualChannels = 2; c.InjectionRate = 0.3 }), drive: driveKills(base.WarmupCycles + base.MeasureCycles)},
+		{name: "recovery/ring4", build: ring(4), cfg: recoverRing},
+		{name: "recovery/ring6-retries", build: ring(6), cfg: at(func(c *Config) {
+			*c = recoveringRingConfig()
+			c.MaxRetries = 1
+			c.MeasureCycles = 30000
+		})},
+		{name: "deadlock/ring4", build: ring(4), cfg: at(func(c *Config) {
+			c.PacketLength = 64
+			c.BufferDepth = 2
+			c.InjectionRate = 0.8
+			c.WarmupCycles = NoWarmup
+			c.MeasureCycles = 50000
+			c.DeadlockThreshold = 5000
+			c.Seed = 1
+		}), wantErr: true},
+		{name: "livelock/ring4", build: ring(4), cfg: at(func(c *Config) {
+			c.PacketLength = 64
+			c.BufferDepth = 2
+			c.InjectionRate = 0.8
+			c.WarmupCycles = NoWarmup
+			c.MeasureCycles = 50000
+			c.DeadlockThreshold = 20000
+			c.LivelockThreshold = 500
+			c.DetectInterval = 128
+			c.Seed = 1
+		}), wantErr: true},
+	}
+
+	if len(scenarios) < 20 {
+		t.Fatalf("differential matrix shrank to %d scenarios; keep it at >= 20", len(scenarios))
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			drive := sc.drive
+			if drive == nil {
+				drive = driveRun
+			}
+			type outcome struct {
+				res   *Result
+				err   error
+				trace bytes.Buffer
+			}
+			var out [2]outcome
+			for i, engine := range []Engine{EngineScan, EngineEvent} {
+				fn, tb := sc.build(t)
+				cfg := sc.cfg
+				cfg.Engine = engine
+				cfg.Trace = &out[i].trace
+				sim, err := New(fn, tb, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out[i].res, out[i].err = drive(sim)
+			}
+			scan, event := out[0], out[1]
+			if (scan.err != nil) != (event.err != nil) {
+				t.Fatalf("error mismatch: scan=%v event=%v", scan.err, event.err)
+			}
+			if sc.wantErr && scan.err == nil {
+				t.Fatal("scenario expected to fail but both engines succeeded")
+			}
+			if !sc.wantErr && scan.err != nil {
+				t.Fatalf("scenario expected to succeed but failed: %v", scan.err)
+			}
+			if scan.err != nil && scan.err.Error() != event.err.Error() {
+				t.Fatalf("error strings diverge:\nscan:  %v\nevent: %v", scan.err, event.err)
+			}
+			var de *DeadlockError
+			var le *LivelockError
+			if errors.As(scan.err, &de) {
+				var de2 *DeadlockError
+				if !errors.As(event.err, &de2) || !reflect.DeepEqual(de.Info, de2.Info) {
+					t.Fatalf("deadlock diagnostics diverge:\nscan:  %+v\nevent: %+v", de.Info, de2)
+				}
+			}
+			if errors.As(scan.err, &le) {
+				var le2 *LivelockError
+				if !errors.As(event.err, &le2) || !reflect.DeepEqual(le.Info, le2.Info) {
+					t.Fatalf("livelock diagnostics diverge:\nscan:  %+v\nevent: %+v", le.Info, le2)
+				}
+			}
+			if !reflect.DeepEqual(scan.res, event.res) {
+				t.Fatalf("results diverge:\nscan:  %+v\nevent: %+v", scan.res, event.res)
+			}
+			sj, err := json.Marshal(scan.res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ej, err := json.Marshal(event.res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(sj, ej) {
+				t.Fatalf("JSON encodings diverge:\nscan:  %s\nevent: %s", sj, ej)
+			}
+			if !bytes.Equal(scan.trace.Bytes(), event.trace.Bytes()) {
+				t.Fatalf("packet traces diverge (%d vs %d bytes)", scan.trace.Len(), event.trace.Len())
+			}
+			if scan.err == nil {
+				// Conservation holds only for completed runs; aborted runs
+				// carry partial counters by design.
+				if err := scan.res.CheckConservation(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineDefaultIsEvent pins the default: a zero Config selects the
+// event-driven engine, the scan engine stays reachable, and out-of-range
+// engines are rejected.
+func TestEngineDefaultIsEvent(t *testing.T) {
+	if (Config{}).withDefaults().Engine != EngineEvent {
+		t.Fatal("zero Config no longer defaults to EngineEvent")
+	}
+	if EngineEvent.String() != "event" || EngineScan.String() != "scan" {
+		t.Fatalf("engine names changed: %v, %v", EngineEvent, EngineScan)
+	}
+	f, tb := randomFn(t, 1, 8, 4, core.DownUp{})
+	if _, err := New(f, tb, Config{Engine: Engine(7)}); err == nil {
+		t.Fatal("Engine(7) accepted")
+	}
+	sim, err := New(f, tb, Config{Engine: EngineScan, MeasureCycles: 100, WarmupCycles: NoWarmup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.ev != nil {
+		t.Fatal("scan engine carries event scheduling state")
+	}
+}

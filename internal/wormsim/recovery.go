@@ -58,6 +58,8 @@ type LivelockError struct {
 	Info *LivelockInfo
 }
 
+// Error renders the livelock diagnostic as a one-line summary; the
+// structured detail stays in Info.
 func (e *LivelockError) Error() string {
 	l := e.Info
 	return fmt.Sprintf("wormsim: livelock detected at cycle %d under %s: packet %d (%d -> %d) undelivered %d cycles after first injection at %d (threshold %d, %d recovery retries)",
@@ -170,6 +172,9 @@ func (s *Simulator) abortPacket(pid int32) {
 		// A partially injected victim is still at its queue's head and
 		// simply restarts streaming from flit zero after the backoff.
 		s.queues[p.src] = append(s.queues[p.src], pid)
+		if s.ev != nil {
+			s.ev.markSource(int(p.src))
+		}
 	}
 }
 

@@ -45,6 +45,37 @@ import (
 	"repro/internal/traffic"
 )
 
+// Engine selects the cycle-evaluation strategy. Both engines implement the
+// same physics through the same per-lane/per-wire code and produce
+// byte-identical Results under the same Config and Seed (enforced by the
+// differential tests in differential_test.go); they differ only in how they
+// find the work of a cycle.
+type Engine int
+
+const (
+	// EngineEvent (the default) is the event-driven fast path: per-switch
+	// active-lane worklists, an active-source set, and per-cycle filled-wire
+	// lists let every stage iterate O(active) instead of O(channels x
+	// virtual channels). Flat slice-backed bitmask scheduling — no maps on
+	// the hot path.
+	EngineEvent Engine = iota
+	// EngineScan is the original engine: every stage scans every lane of
+	// every switch each cycle. It is kept as the independently-implemented
+	// baseline the event engine is differentially tested (and benchmarked)
+	// against.
+	EngineScan
+)
+
+// String names the engine: "event" or "scan".
+func (e Engine) String() string {
+	switch e {
+	case EngineScan:
+		return "scan"
+	default:
+		return "event"
+	}
+}
+
 // Mode selects how packets pick among legal shortest paths.
 type Mode int
 
@@ -63,6 +94,7 @@ const (
 	Deterministic
 )
 
+// String names the path-selection mode.
 func (m Mode) String() string {
 	switch m {
 	case Adaptive:
@@ -148,6 +180,10 @@ type Config struct {
 	// A header line is written first. Tracing costs one formatted write per
 	// packet; leave nil for performance runs.
 	Trace io.Writer
+	// Engine selects the cycle-evaluation strategy: EngineEvent (default,
+	// the O(active) fast path) or EngineScan (the original full-scan
+	// baseline). The two are byte-identical in results; see Engine.
+	Engine Engine
 }
 
 // Selection chooses among the free candidate output channels in Adaptive
@@ -167,6 +203,7 @@ const (
 	SelectLeastLoaded
 )
 
+// String names the adaptive selection function.
 func (s Selection) String() string {
 	switch s {
 	case SelectFirst:
@@ -262,6 +299,9 @@ func (c Config) validate(n int) error {
 	}
 	if c.LivelockThreshold < NoLivelockCheck {
 		return fmt.Errorf("wormsim: LivelockThreshold %d < %d", c.LivelockThreshold, NoLivelockCheck)
+	}
+	if c.Engine != EngineEvent && c.Engine != EngineScan {
+		return fmt.Errorf("wormsim: unknown Engine %d", c.Engine)
 	}
 	if n < 2 {
 		return fmt.Errorf("wormsim: need at least 2 switches, got %d", n)
@@ -474,6 +514,12 @@ type Simulator struct {
 
 	retrying []int32 // ids of packets aborted at least once and not yet done
 
+	// ev holds the event-driven engine's scheduling state (active-lane
+	// bitmasks and filled-wire worklists); nil under EngineScan. Every
+	// mutation site that can wake a lane, wire, or source feeds it, so both
+	// engines share one implementation of the physics.
+	ev *evState
+
 	// TraceMove, if non-nil, is called whenever a flit is placed on a wire
 	// (switch output, injection, or ejection crossing), with the target
 	// vclane. Tests use it to assert wormhole invariants; it must not
@@ -569,6 +615,9 @@ func New(fn *routing.Function, tb routing.PathSource, cfg Config) (*Simulator, e
 	s.deadWire = make([]bool, s.wires)
 	s.deadNode = make([]bool, n)
 	s.res.ChannelFlits = make([]int64, nCh)
+	if cfg.Engine == EngineEvent {
+		s.ev = newEvState(s)
+	}
 	return s, nil
 }
 
@@ -639,11 +688,15 @@ func (s *Simulator) RunCycles(k int) error {
 		s.cycle++
 		s.now++
 		s.measuring = s.cycle > s.cfg.WarmupCycles && s.cycle <= measureEnd
-		s.deliver()
-		s.linkStage()
-		s.switchStage()
-		s.feedInjection()
-		s.generate()
+		if s.ev != nil {
+			s.stepEvent()
+		} else {
+			s.deliver()
+			s.linkStage()
+			s.switchStage()
+			s.feedInjection()
+			s.generate()
+		}
 		if scanning && s.cycle%s.cfg.DetectInterval == 0 {
 			if err := s.recoveryScan(); err != nil {
 				return err
@@ -695,40 +748,46 @@ func (s *Simulator) finish(total int) {
 // per ejection channel.
 func (s *Simulator) deliver() {
 	for v := 0; v < s.n; v++ {
-		w := s.vclWire(s.ejectVCL(v))
-		if !s.wireFull[w] || s.wire[w].arrived >= s.now {
-			continue
-		}
-		f := s.wire[w]
-		s.wireFull[w] = false
-		s.inFlight--
-		s.lastMove = s.now
-		p := &s.packets[f.pkt]
-		p.delivered++
-		s.res.FlitsDeliveredTotal++
+		s.deliverEject(v)
+	}
+}
+
+// deliverEject consumes the flit on node v's ejection wire, if one arrived
+// before this cycle. It is the per-node body shared by both engines.
+func (s *Simulator) deliverEject(v int) {
+	w := s.vclWire(s.ejectVCL(v))
+	if !s.wireFull[w] || s.wire[w].arrived >= s.now {
+		return
+	}
+	f := s.wire[w]
+	s.wireFull[w] = false
+	s.inFlight--
+	s.lastMove = s.now
+	p := &s.packets[f.pkt]
+	p.delivered++
+	s.res.FlitsDeliveredTotal++
+	if s.measuring {
+		s.res.FlitsDelivered++
+	}
+	if f.idx == p.length-1 { // tail: packet complete
 		if s.measuring {
-			s.res.FlitsDelivered++
-		}
-		if f.idx == p.length-1 { // tail: packet complete
-			if s.measuring {
-				s.res.PacketsDelivered++
-				lat := int(s.now - p.created)
-				s.res.AvgLatency += float64(lat)
-				s.res.AvgNetworkLatency += float64(s.now - p.injected)
-				if lat > s.res.MaxLatency {
-					s.res.MaxLatency = lat
-				}
-				if s.res.MinLatency == 0 || lat < s.res.MinLatency {
-					s.res.MinLatency = lat
-				}
-				s.latencies = append(s.latencies, int32(lat))
+			s.res.PacketsDelivered++
+			lat := int(s.now - p.created)
+			s.res.AvgLatency += float64(lat)
+			s.res.AvgNetworkLatency += float64(s.now - p.injected)
+			if lat > s.res.MaxLatency {
+				s.res.MaxLatency = lat
 			}
-			if s.cfg.Trace != nil && s.measuring {
-				fmt.Fprintf(s.cfg.Trace, "%d,%d,%d,%d,%d,%d,%d\n",
-					f.pkt, p.src, p.dst, p.created, p.injected, s.now, p.hops)
+			if s.res.MinLatency == 0 || lat < s.res.MinLatency {
+				s.res.MinLatency = lat
 			}
-			p.route = nil // release path memory
+			s.latencies = append(s.latencies, int32(lat))
 		}
+		if s.cfg.Trace != nil && s.measuring {
+			fmt.Fprintf(s.cfg.Trace, "%d,%d,%d,%d,%d,%d,%d\n",
+				f.pkt, p.src, p.dst, p.created, p.injected, s.now, p.hops)
+		}
+		p.route = nil // release path memory
 	}
 }
 
@@ -738,20 +797,30 @@ func (s *Simulator) deliver() {
 // fail.
 func (s *Simulator) linkStage() {
 	for w := 0; w < s.nCh+s.n; w++ { // ejection wires drain in deliver
-		if !s.wireFull[w] || s.wire[w].arrived >= s.now {
-			continue
-		}
-		b := &s.bufs[s.wireVCL[w]]
-		if b.full() {
-			// Credit accounting guarantees space; a full buffer here is a
-			// simulator bug, not a network condition.
-			panic("wormsim: wire delivered into a full buffer (credit accounting broken)")
-		}
-		f := s.wire[w]
-		f.arrived = s.now
-		b.push(f)
-		s.wireFull[w] = false
-		s.lastMove = s.now
+		s.linkWire(w)
+	}
+}
+
+// linkWire completes the link traversal of the flit on wire w, if one
+// arrived before this cycle: it lands in the downstream virtual-channel
+// buffer, waking that lane. It is the per-wire body shared by both engines.
+func (s *Simulator) linkWire(w int) {
+	if !s.wireFull[w] || s.wire[w].arrived >= s.now {
+		return
+	}
+	b := &s.bufs[s.wireVCL[w]]
+	if b.full() {
+		// Credit accounting guarantees space; a full buffer here is a
+		// simulator bug, not a network condition.
+		panic("wormsim: wire delivered into a full buffer (credit accounting broken)")
+	}
+	f := s.wire[w]
+	f.arrived = s.now
+	b.push(f)
+	s.wireFull[w] = false
+	s.lastMove = s.now
+	if s.ev != nil {
+		s.ev.markLane(s.wireVCL[w])
 	}
 }
 
@@ -818,6 +887,9 @@ func (s *Simulator) tryForward(v int, li int32) {
 	s.wireVCL[w] = out
 	s.wireFull[w] = true
 	s.lastMove = s.now
+	if s.ev != nil {
+		s.ev.noteFill(int(w))
+	}
 	if ch := s.vclChannel(out); ch >= 0 {
 		if s.measuring {
 			s.res.ChannelFlits[ch]++
@@ -929,58 +1001,70 @@ func (s *Simulator) allocVC(ch int, pkt int32) int32 {
 // node's injection channel, one flit per clock.
 func (s *Simulator) feedInjection() {
 	for v := 0; v < s.n; v++ {
-		if s.deadNode[v] {
-			continue
+		s.feedNode(v)
+	}
+}
+
+// feedNode advances node v's source queue by at most one flit. It is the
+// per-node body shared by both engines; the returned bool reports whether
+// the node has nothing left to inject (dead, or its queue is empty), which
+// the event engine uses to retire the node from its active-source set.
+func (s *Simulator) feedNode(v int) bool {
+	if s.deadNode[v] {
+		return true
+	}
+	q := s.queues[v]
+	// Skip packets dropped by fault injection while queued.
+	for s.qHead[v] < len(q) && s.packets[q[s.qHead[v]]].dropped {
+		s.qHead[v]++
+	}
+	h := s.qHead[v]
+	if h >= len(q) {
+		return true
+	}
+	l := s.injVCL(v)
+	w := s.vclWire(l)
+	if s.wireFull[w] || s.deadWire[w] || s.bufs[l].full() {
+		return false
+	}
+	pid := q[h]
+	p := &s.packets[pid]
+	if p.sentFlits == 0 {
+		if s.paused {
+			// Static draining: packets already streaming finish, new
+			// ones wait for the reconfiguration to complete.
+			return false
 		}
-		q := s.queues[v]
-		// Skip packets dropped by fault injection while queued.
-		for s.qHead[v] < len(q) && s.packets[q[s.qHead[v]]].dropped {
-			s.qHead[v]++
+		if p.notBefore > s.now {
+			return false // aborted packet still backing off before its retry
 		}
-		h := s.qHead[v]
-		if h >= len(q) {
-			continue
-		}
-		l := s.injVCL(v)
-		w := s.vclWire(l)
-		if s.wireFull[w] || s.deadWire[w] || s.bufs[l].full() {
-			continue
-		}
-		pid := q[h]
-		p := &s.packets[pid]
-		if p.sentFlits == 0 {
-			if s.paused {
-				// Static draining: packets already streaming finish, new
-				// ones wait for the reconfiguration to complete.
-				continue
-			}
-			if p.notBefore > s.now {
-				continue // aborted packet still backing off before its retry
-			}
-			p.injected = s.now
-			if p.firstInjected < 0 {
-				p.firstInjected = s.now
-			}
-		}
-		s.wire[w] = flit{pkt: pid, idx: p.sentFlits, arrived: s.now}
-		s.wireVCL[w] = l
-		s.wireFull[w] = true
-		s.inFlight++
-		s.res.FlitsInjected++
-		s.lastMove = s.now
-		if s.TraceMove != nil {
-			s.TraceMove(l, pid, p.sentFlits)
-		}
-		p.sentFlits++
-		if p.sentFlits == p.length {
-			s.qHead[v]++
-			// Compact the queue occasionally to bound memory.
-			if s.qHead[v] > 1024 && s.qHead[v]*2 > len(q) {
-				s.queues[v] = append(s.queues[v][:0], q[s.qHead[v]:]...)
-				s.qHead[v] = 0
-			}
+		p.injected = s.now
+		if p.firstInjected < 0 {
+			p.firstInjected = s.now
 		}
 	}
+	s.wire[w] = flit{pkt: pid, idx: p.sentFlits, arrived: s.now}
+	s.wireVCL[w] = l
+	s.wireFull[w] = true
+	s.inFlight++
+	s.res.FlitsInjected++
+	s.lastMove = s.now
+	if s.ev != nil {
+		s.ev.noteFill(int(w))
+	}
+	if s.TraceMove != nil {
+		s.TraceMove(l, pid, p.sentFlits)
+	}
+	p.sentFlits++
+	if p.sentFlits == p.length {
+		s.qHead[v]++
+		// Compact the queue occasionally to bound memory.
+		if s.qHead[v] > 1024 && s.qHead[v]*2 > len(q) {
+			s.queues[v] = append(s.queues[v][:0], q[s.qHead[v]:]...)
+			s.qHead[v] = 0
+		}
+	}
+	return s.qHead[v] >= len(s.queues[v])
 }
 
 // generate creates new packets per the Bernoulli injection process.
@@ -1044,6 +1128,9 @@ func (s *Simulator) generate() {
 		id := int32(len(s.packets))
 		s.packets = append(s.packets, p)
 		s.queues[v] = append(s.queues[v], id)
+		if s.ev != nil {
+			s.ev.markSource(v)
+		}
 		if depth := len(s.queues[v]) - s.qHead[v]; depth > s.res.SourceQueuePeak {
 			s.res.SourceQueuePeak = depth
 		}

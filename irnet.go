@@ -83,6 +83,9 @@ type (
 	SimResult = wormsim.Result
 	// SimMode selects source-routed or adaptive path selection.
 	SimMode = wormsim.Mode
+	// SimEngine selects the cycle-loop implementation (event-driven fast
+	// path or the full-scan baseline); both produce byte-identical results.
+	SimEngine = wormsim.Engine
 	// Pattern chooses packet destinations.
 	Pattern = traffic.Pattern
 	// NodeStats aggregates the paper's utilization metrics.
@@ -106,6 +109,11 @@ const (
 	SelectLeastLoaded = wormsim.SelectLeastLoaded
 	// NoWarmup requests a measurement window that starts at cycle zero.
 	NoWarmup = wormsim.NoWarmup
+	// EngineEvent is the default event-driven engine: O(active) per cycle.
+	EngineEvent = wormsim.EngineEvent
+	// EngineScan is the original engine scanning every lane every cycle;
+	// kept as the differential-testing and benchmarking baseline.
+	EngineScan = wormsim.EngineScan
 )
 
 // Evaluation (paper experiment) types.
@@ -243,6 +251,17 @@ func Simulate(f *RoutingFunction, tb PathSource, cfg SimConfig) (*SimResult, err
 		return nil, err
 	}
 	return sim.Run()
+}
+
+// Simulator is the stepwise wormhole simulator, for callers that need
+// finer control than Simulate: RunCycles in slices, fault injection and
+// live rewiring mid-run, then Finish. See the wormsim package docs.
+type Simulator = wormsim.Simulator
+
+// NewSimulator constructs a stepwise Simulator; Simulate remains the
+// one-shot convenience wrapper.
+func NewSimulator(f *RoutingFunction, tb PathSource, cfg SimConfig) (*Simulator, error) {
+	return wormsim.New(f, tb, cfg)
 }
 
 // ComputeNodeStats derives the paper's utilization metrics from a

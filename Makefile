@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchall lint-docs servebench paper quick verify examples faults recovery fuzz clean
+.PHONY: all build test race bench benchall lint-docs servebench paper quick verify examples faults recovery collectives fuzz clean
 
 all: build test
 
@@ -96,6 +96,19 @@ recovery:
 	mkdir -p results
 	$(GO) run ./cmd/irfault -study recovery > results/recovery_sweep.txt
 	@cat results/recovery_sweep.txt
+
+# The deterministic closed-loop collective study: makespan for all five
+# collectives (ring all-reduce, tree reduce+broadcast, all-gather,
+# all-to-all, incast) across {DOWN/UP, L-turn, up*/down*} × M1/M2/M3 at
+# 128 switches, 4- and 8-port. -compare-engines re-runs every simulation
+# on the scan engine and fails on any divergence. Regenerating reproduces
+# results/collective_sweep.txt and results/BENCH_collective.json byte for
+# byte.
+collectives:
+	mkdir -p results
+	$(GO) run ./cmd/irexp -exp collective -scale paper -compare-engines \
+		-json results/BENCH_collective.json > results/collective_sweep.txt
+	@cat results/collective_sweep.txt
 
 # Short fuzzing passes over the parsers, the simulator config surface, and
 # whole faulted runs (flit conservation under failures + reconfiguration).

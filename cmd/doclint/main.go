@@ -11,8 +11,9 @@
 //	doclint [package-dir ...]
 //
 // With no arguments it checks the repository's documented core:
-// internal/wormsim, internal/harness, internal/metrics, and the root
-// irnet package. Exits non-zero listing every violation.
+// internal/wormsim, internal/harness, internal/metrics, internal/traffic,
+// internal/workload, and the root irnet package. Exits non-zero listing
+// every violation.
 package main
 
 import (
@@ -26,7 +27,14 @@ import (
 	"strings"
 )
 
-var defaultDirs = []string{".", "internal/wormsim", "internal/harness", "internal/metrics"}
+var defaultDirs = []string{
+	".",
+	"internal/wormsim",
+	"internal/harness",
+	"internal/metrics",
+	"internal/traffic",
+	"internal/workload",
+}
 
 func main() {
 	log.SetFlags(0)

@@ -8,6 +8,7 @@
 //	irexp -exp figure8 -ports 4
 //	irexp -exp tables -csv results.csv
 //	irexp -exp ablation
+//	irexp -exp collective -scale paper -compare-engines -json out.json
 //	irexp -exp all -scale paper -checkpoint ck.jsonl -keepgoing
 //
 // Output goes to stdout; -csv additionally writes the raw observations.
@@ -25,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	irnet "repro"
@@ -36,7 +38,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("irexp: ")
 	var (
-		exp      = flag.String("exp", "all", "experiment: figure8, tables, ablation, hotspot, or all")
+		exp      = flag.String("exp", "all", "experiment: figure8, tables, ablation, hotspot, collective, or all")
 		scale    = flag.String("scale", "quick", "quick (small networks) or paper (full 128-switch evaluation)")
 		ports    = flag.Int("ports", 0, "restrict to one port configuration (0 = both)")
 		samples  = flag.Int("samples", 0, "override sample count")
@@ -52,6 +54,11 @@ func main() {
 		deadline   = flag.Duration("deadline", 0, "wall-clock bound per simulation (0 = none)")
 		checkpoint = flag.String("checkpoint", "", "JSONL checkpoint path: completed simulations are recorded and a rerun resumes from them")
 		keepGoing  = flag.Bool("keepgoing", false, "degrade failed simulations to a skipped section instead of aborting the run")
+
+		collectives    = flag.String("collectives", "", "restrict -exp collective to these workloads (comma-separated)")
+		msgPackets     = flag.Int("msgpackets", 0, "override the collective message size in packets")
+		compareEngines = flag.Bool("compare-engines", false, "run every collective simulation on both engines and fail on divergence")
+		jsonPath       = flag.String("json", "", "also write the collective study report to this JSON file")
 	)
 	flag.Parse()
 
@@ -109,6 +116,71 @@ func main() {
 			irnet.DownUp(), irnet.DownUpNoRelease(),
 			irnet.LTurn(), irnet.UpDown(), irnet.RightLeft(),
 		}
+	}
+
+	if *exp == "collective" {
+		co := irnet.QuickCollectiveOptions()
+		if *scale == "paper" {
+			co = irnet.DefaultCollectiveOptions()
+		}
+		if *ports != 0 {
+			co.Ports = []int{*ports}
+		}
+		if *samples != 0 {
+			co.Samples = *samples
+		}
+		if *seed != 0 {
+			co.Seed = *seed
+		}
+		if *policies != "" {
+			ps, err := cliutil.ParsePolicies(*policies)
+			if err != nil {
+				log.Fatal(err)
+			}
+			co.Policies = ps
+		}
+		if *collectives != "" {
+			var list []string
+			for _, s := range strings.Split(*collectives, ",") {
+				if s = strings.TrimSpace(s); s != "" {
+					list = append(list, s)
+				}
+			}
+			co.Collectives = list
+		}
+		if *msgPackets != 0 {
+			co.MessagePackets = *msgPackets
+		}
+		if *adaptive {
+			co.Mode = irnet.Adaptive
+		}
+		co.Engine = opts.Engine
+		co.CompareEngines = *compareEngines
+		if !*quiet {
+			co.Progress = os.Stderr
+		}
+		start := time.Now()
+		cres, err := irnet.RunCollectiveStudy(co)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "irexp: collective study finished in %v\n", time.Since(start).Round(time.Millisecond))
+		}
+		fmt.Print(irnet.FormatCollectives(cres))
+		if *jsonPath != "" {
+			js, err := irnet.CollectiveJSON(cres)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*jsonPath, append(js, '\n'), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "irexp: wrote %s\n", *jsonPath)
+			}
+		}
+		return
 	}
 
 	if *exp == "hotspot" {

@@ -57,7 +57,7 @@ func main() {
 		adaptive = flag.Bool("adaptive", false, "per-hop adaptive routing instead of source-routed")
 		mode     = flag.String("mode", "", "path selection: source, adaptive, or deterministic (overrides -adaptive)")
 		trace    = flag.String("trace", "", "write a per-packet CSV trace to this file")
-		pattern  = flag.String("pattern", "uniform", "traffic pattern (uniform, hotspot)")
+		pattern  = flag.String("pattern", "uniform", "traffic pattern (uniform, hotspot, transpose, bitreverse, permutation)")
 		hotspot  = flag.Int("hotspot", 0, "hot destination for -pattern hotspot")
 		hotfrac  = flag.Float64("hotfrac", 0.2, "hot fraction for -pattern hotspot")
 		util     = flag.Bool("util", false, "print per-node utilization")
@@ -160,6 +160,24 @@ func main() {
 		cfg.Pattern = irnet.Uniform(g.N())
 	case "hotspot":
 		cfg.Pattern = irnet.Hotspot(g.N(), []int{*hotspot}, *hotfrac)
+	case "transpose":
+		p, err := irnet.Transpose(g.N())
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Pattern = p
+	case "bitreverse":
+		p, err := irnet.BitReversePattern(g.N())
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Pattern = p
+	case "permutation":
+		p, err := irnet.RandomPermutation(g.N(), *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Pattern = p
 	default:
 		log.Fatalf("unknown pattern %q", *pattern)
 	}

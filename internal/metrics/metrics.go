@@ -176,6 +176,47 @@ func (w *Welford) Min() float64 { return w.min }
 // Max returns the largest observation (0 before any observation).
 func (w *Welford) Max() float64 { return w.max }
 
+// MakespanAccum aggregates closed-loop completion metrics across samples:
+// the collective makespan and the per-message latency profile of each run.
+// The harness uses one per (collective, algorithm, mapping, …) cell.
+type MakespanAccum struct {
+	// Makespan accumulates per-run completion times in cycles.
+	Makespan Welford
+	// AvgMessageLatency and MaxMessageLatency accumulate each run's mean
+	// and worst per-message eligible-to-delivered latency.
+	AvgMessageLatency Welford
+	MaxMessageLatency Welford
+}
+
+// Add folds one completed run into the accumulator.
+func (m *MakespanAccum) Add(makespan int, avgMessageLatency float64, maxMessageLatency int) {
+	m.Makespan.Add(float64(makespan))
+	m.AvgMessageLatency.Add(avgMessageLatency)
+	m.MaxMessageLatency.Add(float64(maxMessageLatency))
+}
+
+// StepLatencies accumulates per-algorithmic-step completion cycles across
+// samples, growing to the largest step index observed. The zero value is
+// ready to use.
+type StepLatencies struct {
+	steps []Welford
+}
+
+// Add folds one run's completion cycle for the given step.
+func (s *StepLatencies) Add(step int, completionCycle float64) {
+	for len(s.steps) <= step {
+		s.steps = append(s.steps, Welford{})
+	}
+	s.steps[step].Add(completionCycle)
+}
+
+// Len returns the number of steps observed so far.
+func (s *StepLatencies) Len() int { return len(s.steps) }
+
+// At returns the accumulator for one step; it panics if the step was never
+// observed.
+func (s *StepLatencies) At(step int) *Welford { return &s.steps[step] }
+
 // Recovery aggregates fault-recovery metrics over one faulted simulation
 // run: what the failures cost (dropped and unroutable packets, pairs cut
 // off) and how long the network took to resume service after each

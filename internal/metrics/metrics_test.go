@@ -203,3 +203,41 @@ func TestWelfordEmpty(t *testing.T) {
 		t.Fatal("empty accumulator not zero")
 	}
 }
+
+func TestMakespanAccum(t *testing.T) {
+	var m MakespanAccum
+	m.Add(100, 40.5, 90)
+	m.Add(200, 59.5, 110)
+	if m.Makespan.N() != 2 || m.Makespan.Mean() != 150 {
+		t.Fatalf("makespan mean %v over %d runs", m.Makespan.Mean(), m.Makespan.N())
+	}
+	if m.AvgMessageLatency.Mean() != 50 {
+		t.Fatalf("avg message latency mean %v", m.AvgMessageLatency.Mean())
+	}
+	if m.MaxMessageLatency.Max() != 110 {
+		t.Fatalf("max message latency max %v", m.MaxMessageLatency.Max())
+	}
+}
+
+func TestStepLatencies(t *testing.T) {
+	var s StepLatencies
+	if s.Len() != 0 {
+		t.Fatal("zero value reports steps")
+	}
+	// Sparse, out-of-order observation: step 2 before step 0.
+	s.Add(2, 300)
+	s.Add(0, 100)
+	s.Add(2, 500)
+	if s.Len() != 3 {
+		t.Fatalf("len %d, want 3", s.Len())
+	}
+	if s.At(0).N() != 1 || s.At(0).Mean() != 100 {
+		t.Fatalf("step 0: n=%d mean=%v", s.At(0).N(), s.At(0).Mean())
+	}
+	if s.At(1).N() != 0 {
+		t.Fatal("unobserved step 1 has samples")
+	}
+	if s.At(2).N() != 2 || s.At(2).Mean() != 400 {
+		t.Fatalf("step 2: n=%d mean=%v", s.At(2).N(), s.At(2).Mean())
+	}
+}

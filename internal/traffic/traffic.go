@@ -106,35 +106,81 @@ func (p *Permutation) Dest(src int, _ *rng.Rng) int { return p.perm[src] }
 // Partner returns the fixed destination of src (for tests).
 func (p *Permutation) Partner(src int) int { return p.perm[src] }
 
-// BitReverse sends src to the bit-reversal of its index; N must be a power
-// of two. Sources whose reversal equals themselves fall back to uniform.
+// BitReverse sends src to the bit-reversal of its index. Sources whose
+// reversal equals themselves (palindromic indices) fall back to uniform.
+// Build with NewBitReverse, which validates the switch count once and
+// precomputes the bit width, keeping the per-packet path branch-free.
 type BitReverse struct {
-	// N is the number of switches, a power of two.
-	N int
+	n    int
+	bits int
+}
+
+// NewBitReverse builds the bit-reversal pattern for n switches; n must be
+// a power of two of at least 2.
+func NewBitReverse(n int) (*BitReverse, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("traffic: bit-reverse needs a power-of-two switch count, got %d", n)
+	}
+	bits := 0
+	for 1<<uint(bits) < n {
+		bits++
+	}
+	return &BitReverse{n: n, bits: bits}, nil
 }
 
 // Name implements Pattern.
-func (b BitReverse) Name() string { return "bitreverse" }
+func (b *BitReverse) Name() string { return "bitreverse" }
 
 // Dest implements Pattern.
-func (b BitReverse) Dest(src int, r *rng.Rng) int {
-	if b.N < 2 || b.N&(b.N-1) != 0 {
-		panic("traffic: BitReverse requires a power-of-two switch count")
-	}
-	bits := 0
-	for 1<<uint(bits) < b.N {
-		bits++
-	}
+func (b *BitReverse) Dest(src int, r *rng.Rng) int {
 	d := 0
-	for i := 0; i < bits; i++ {
+	for i := 0; i < b.bits; i++ {
 		if src&(1<<uint(i)) != 0 {
-			d |= 1 << uint(bits-1-i)
+			d |= 1 << uint(b.bits-1-i)
 		}
 	}
 	if d == src {
-		return Uniform{N: b.N}.Dest(src, r)
+		return Uniform{N: b.n}.Dest(src, r)
 	}
 	return d
+}
+
+// Transpose maps the switches onto a square grid (row-major) and sends
+// each packet from (row, col) to (col, row) — the matrix-transpose
+// pattern, a classic stress test that concentrates traffic across the
+// bisection. Diagonal sources (row == col) fall back to uniform. Build
+// with NewTranspose; the switch count must be a perfect square.
+type Transpose struct {
+	n    int
+	side int
+}
+
+// NewTranspose builds the transpose pattern for n switches; n must be a
+// perfect square of at least 4.
+func NewTranspose(n int) (*Transpose, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("traffic: transpose needs at least 4 switches, got %d", n)
+	}
+	side := 1
+	for side*side < n {
+		side++
+	}
+	if side*side != n {
+		return nil, fmt.Errorf("traffic: transpose needs a perfect-square switch count, got %d", n)
+	}
+	return &Transpose{n: n, side: side}, nil
+}
+
+// Name implements Pattern.
+func (t *Transpose) Name() string { return "transpose" }
+
+// Dest implements Pattern.
+func (t *Transpose) Dest(src int, r *rng.Rng) int {
+	row, col := src/t.side, src%t.side
+	if row == col {
+		return Uniform{N: t.n}.Dest(src, r)
+	}
+	return col*t.side + row
 }
 
 // Generator produces packets clock by clock: Tick returns a destination

@@ -117,7 +117,10 @@ func TestPermutationRejectsTiny(t *testing.T) {
 }
 
 func TestBitReverse(t *testing.T) {
-	b := BitReverse{N: 8}
+	b, err := NewBitReverse(8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	r := rng.New(5)
 	// 3 bits: 1 (001) -> 4 (100); 3 (011) -> 6 (110); 6 -> 3.
 	if d := b.Dest(1, r); d != 4 {
@@ -126,21 +129,85 @@ func TestBitReverse(t *testing.T) {
 	if d := b.Dest(3, r); d != 6 {
 		t.Fatalf("Dest(3) = %d, want 6", d)
 	}
-	// Palindromic indices fall back to uniform, never self.
-	for i := 0; i < 1000; i++ {
-		if d := b.Dest(0, r); d == 0 {
-			t.Fatal("bit-reverse returned source for palindromic index")
+	if d := b.Dest(6, r); d != 3 {
+		t.Fatalf("Dest(6) = %d, want 3", d)
+	}
+	// Self-mapping (palindromic) indices fall back to uniform, never self.
+	for _, src := range []int{0, 2, 5, 7} { // 000, 010, 101, 111
+		for i := 0; i < 1000; i++ {
+			d := b.Dest(src, r)
+			if d == src {
+				t.Fatalf("bit-reverse returned source %d for palindromic index", src)
+			}
+			if d < 0 || d >= 8 {
+				t.Fatalf("bit-reverse Dest(%d) = %d out of range", src, d)
+			}
 		}
 	}
 }
 
-func TestBitReversePanicsOnNonPower(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
+func TestBitReverseRejectsNonPower(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 6, 12, 100} {
+		if _, err := NewBitReverse(n); err == nil {
+			t.Fatalf("NewBitReverse(%d) accepted a non-power-of-two", n)
 		}
-	}()
-	BitReverse{N: 6}.Dest(1, rng.New(1))
+	}
+	for _, n := range []int{2, 4, 8, 64, 128} {
+		if _, err := NewBitReverse(n); err != nil {
+			t.Fatalf("NewBitReverse(%d): %v", n, err)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	tr, err := NewTranspose(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(8)
+	// 4x4 grid, row-major: (r, c) -> (c, r).
+	if d := tr.Dest(1, r); d != 4 { // (0,1) -> (1,0)
+		t.Fatalf("Dest(1) = %d, want 4", d)
+	}
+	if d := tr.Dest(7, r); d != 13 { // (1,3) -> (3,1)
+		t.Fatalf("Dest(7) = %d, want 13", d)
+	}
+	// Off-diagonal sources pair up: Dest(Dest(src)) == src.
+	for src := 0; src < 16; src++ {
+		row, col := src/4, src%4
+		if row == col {
+			continue
+		}
+		d := tr.Dest(src, r)
+		if back := tr.Dest(d, r); back != src {
+			t.Fatalf("transpose not involutive: %d -> %d -> %d", src, d, back)
+		}
+	}
+	// Diagonal sources fall back to uniform, never self.
+	for _, src := range []int{0, 5, 10, 15} {
+		for i := 0; i < 1000; i++ {
+			d := tr.Dest(src, r)
+			if d == src {
+				t.Fatalf("transpose returned source %d for diagonal index", src)
+			}
+			if d < 0 || d >= 16 {
+				t.Fatalf("transpose Dest(%d) = %d out of range", src, d)
+			}
+		}
+	}
+}
+
+func TestTransposeRejectsNonSquare(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 5, 8, 15, 128} {
+		if _, err := NewTranspose(n); err == nil {
+			t.Fatalf("NewTranspose(%d) accepted a non-square", n)
+		}
+	}
+	for _, n := range []int{4, 9, 16, 64, 144} {
+		if _, err := NewTranspose(n); err != nil {
+			t.Fatalf("NewTranspose(%d): %v", n, err)
+		}
+	}
 }
 
 func TestSourceRate(t *testing.T) {
@@ -196,8 +263,44 @@ func TestPatternNames(t *testing.T) {
 	if p.Name() != "permutation" {
 		t.Fatal("permutation name")
 	}
-	if (BitReverse{}).Name() != "bitreverse" {
+	b, _ := NewBitReverse(4)
+	if b.Name() != "bitreverse" {
 		t.Fatal("bitreverse name")
+	}
+	tr, _ := NewTranspose(4)
+	if tr.Name() != "transpose" {
+		t.Fatal("transpose name")
+	}
+}
+
+// TestHotspotFraction pins the hot-set hit rate at a configured fraction
+// with multiple hot switches: drawing many destinations under a fixed seed
+// must land in the hot set at Fraction (plus the uniform leak-through)
+// within a small tolerance.
+func TestHotspotFraction(t *testing.T) {
+	const n, frac, draws = 64, 0.3, 50000
+	spots := []int{7, 21, 42}
+	h := Hotspot{N: n, Spots: spots, Fraction: frac}
+	r := rng.New(9)
+	isHot := make([]bool, n)
+	for _, s := range spots {
+		isHot[s] = true
+	}
+	hot := 0
+	for i := 0; i < draws; i++ {
+		d := h.Dest(0, r)
+		if d < 0 || d >= n || d == 0 {
+			t.Fatalf("draw %d: destination %d invalid", i, d)
+		}
+		if isHot[d] {
+			hot++
+		}
+	}
+	// Hot hits come from the biased branch plus uniform leak-through.
+	want := frac + (1-frac)*float64(len(spots))/float64(n-1)
+	got := float64(hot) / draws
+	if math.Abs(got-want) > 0.015 {
+		t.Fatalf("hot-set fraction %.4f, want about %.4f", got, want)
 	}
 }
 

@@ -1,0 +1,289 @@
+// Package workload generates closed-loop, dependency-driven collective
+// traffic for the wormhole simulator. Where the paper evaluates routing
+// algorithms only under open-loop Bernoulli arrivals (§5), the fabrics that
+// deploy deadlock-free irregular routing are dominated by collective
+// communication: all-reduce rings, reduction trees, all-to-all exchanges,
+// and parameter-server incast. This package models such jobs as explicit
+// message DAGs — a message becomes eligible for injection only once every
+// message it depends on has been fully delivered — and drives them through
+// wormsim's ClosedLoop interface, reporting completion time (makespan)
+// instead of steady-state throughput.
+//
+// The five built-in generators size themselves to the live topology:
+//
+//   - RingAllReduce — the classic 2(n-1)-step ring: reduce-scatter followed
+//     by all-gather, each node forwarding to its successor once the
+//     predecessor's previous chunk has arrived;
+//   - TreeReduceBroadcast — reduction up a complete binary tree over node
+//     indices, then a broadcast back down;
+//   - AllGather — the (n-1)-step ring gather alone;
+//   - AllToAll — n-1 rounds of the shifted exchange (round r sends i to
+//     i+r mod n), each node self-serialized across rounds;
+//   - Incast — the parameter-server push: every node sends to node 0 at
+//     once, with no dependencies.
+package workload
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Message is one logical transfer in a collective: Packets simulator
+// packets from Src to Dst, eligible for injection only after every message
+// in Deps has been fully delivered.
+type Message struct {
+	// Src and Dst are node indices in the live topology.
+	Src, Dst int
+	// Packets is the message size in simulator packets (>= 1); the flit
+	// size of each packet is wormsim.Config.PacketLength.
+	Packets int
+	// Step labels the algorithmic phase the message belongs to (0-based);
+	// it drives the per-step completion-time report and has no scheduling
+	// effect — only Deps gates eligibility.
+	Step int
+	// Deps lists the indices (into DAG.Messages) of the messages that must
+	// be fully delivered before this one may inject.
+	Deps []int32
+}
+
+// DAG is a complete collective job: a named set of messages with
+// dependencies. The zero value is an empty job; build real ones with the
+// generators or ByName.
+type DAG struct {
+	// Name identifies the collective (one of Names(), for generated DAGs).
+	Name string
+	// Messages holds the job. Dependencies refer to messages by index.
+	Messages []Message
+}
+
+// Steps returns the number of algorithmic steps (max Step + 1).
+func (d *DAG) Steps() int {
+	s := 0
+	for i := range d.Messages {
+		if d.Messages[i].Step+1 > s {
+			s = d.Messages[i].Step + 1
+		}
+	}
+	return s
+}
+
+// TotalPackets returns the job size in simulator packets.
+func (d *DAG) TotalPackets() int {
+	t := 0
+	for i := range d.Messages {
+		t += d.Messages[i].Packets
+	}
+	return t
+}
+
+// Validate checks the DAG against an n-node topology: node indices in
+// range, no self-sends, positive packet counts, dependency indices in
+// range, and acyclicity (checked by Kahn elimination).
+func (d *DAG) Validate(n int) error {
+	for i := range d.Messages {
+		m := &d.Messages[i]
+		if m.Src < 0 || m.Src >= n || m.Dst < 0 || m.Dst >= n {
+			return fmt.Errorf("workload: message %d endpoints (%d -> %d) out of range for %d nodes", i, m.Src, m.Dst, n)
+		}
+		if m.Src == m.Dst {
+			return fmt.Errorf("workload: message %d is a self-send at node %d", i, m.Src)
+		}
+		if m.Packets < 1 {
+			return fmt.Errorf("workload: message %d has %d packets", i, m.Packets)
+		}
+		if m.Step < 0 {
+			return fmt.Errorf("workload: message %d has negative step %d", i, m.Step)
+		}
+		for _, dep := range m.Deps {
+			if dep < 0 || int(dep) >= len(d.Messages) {
+				return fmt.Errorf("workload: message %d depends on out-of-range message %d", i, dep)
+			}
+		}
+	}
+	// Kahn elimination: repeatedly retire messages whose dependencies are
+	// all retired; anything left participates in a cycle.
+	rem := make([]int, len(d.Messages))
+	dependents := make([][]int32, len(d.Messages))
+	queue := make([]int32, 0, len(d.Messages))
+	for i := range d.Messages {
+		rem[i] = len(d.Messages[i].Deps)
+		if rem[i] == 0 {
+			queue = append(queue, int32(i))
+		}
+		for _, dep := range d.Messages[i].Deps {
+			dependents[dep] = append(dependents[dep], int32(i))
+		}
+	}
+	done := 0
+	for len(queue) > 0 {
+		m := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		done++
+		for _, dep := range dependents[m] {
+			rem[dep]--
+			if rem[dep] == 0 {
+				queue = append(queue, dep)
+			}
+		}
+	}
+	if done != len(d.Messages) {
+		return fmt.Errorf("workload: dependency cycle: only %d of %d messages reachable", done, len(d.Messages))
+	}
+	return nil
+}
+
+func checkShape(name string, n, packets int) error {
+	if n < 2 {
+		return fmt.Errorf("workload: %s needs at least 2 nodes, got %d", name, n)
+	}
+	if packets < 1 {
+		return fmt.Errorf("workload: %s needs a positive message size, got %d packets", name, packets)
+	}
+	return nil
+}
+
+// RingAllReduce builds the 2(n-1)-step ring all-reduce over n nodes:
+// reduce-scatter (steps 0..n-2) then all-gather (steps n-1..2n-3). In every
+// step each node sends one message of the given packet count to its
+// successor (i+1) mod n, and a node's step-s send waits on its
+// predecessor's step-(s-1) send — the chunk it must combine or forward.
+func RingAllReduce(n, packets int) (*DAG, error) {
+	if err := checkShape("ring all-reduce", n, packets); err != nil {
+		return nil, err
+	}
+	return ringDAG("allreduce", n, packets, 2*(n-1)), nil
+}
+
+// AllGather builds the (n-1)-step ring all-gather over n nodes: the
+// all-gather half of RingAllReduce alone.
+func AllGather(n, packets int) (*DAG, error) {
+	if err := checkShape("all-gather", n, packets); err != nil {
+		return nil, err
+	}
+	return ringDAG("allgather", n, packets, n-1), nil
+}
+
+// ringDAG lays out steps×n messages on the ring: message (s, i) goes
+// i -> (i+1) mod n and depends on message (s-1, (i-1) mod n) — the chunk
+// node i received in the previous step.
+func ringDAG(name string, n, packets, steps int) *DAG {
+	d := &DAG{Name: name, Messages: make([]Message, 0, steps*n)}
+	for s := 0; s < steps; s++ {
+		for i := 0; i < n; i++ {
+			m := Message{Src: i, Dst: (i + 1) % n, Packets: packets, Step: s}
+			if s > 0 {
+				m.Deps = []int32{int32((s-1)*n + (i-1+n)%n)}
+			}
+			d.Messages = append(d.Messages, m)
+		}
+	}
+	return d
+}
+
+// TreeReduceBroadcast builds a reduce-then-broadcast over the complete
+// binary tree on node indices (parent of i is (i-1)/2, root 0). The reduce
+// phase sends every node's contribution to its parent once its own
+// children have reported; the broadcast phase pushes the result back down,
+// each node forwarding to its children once it has received the result.
+func TreeReduceBroadcast(n, packets int) (*DAG, error) {
+	if err := checkShape("tree reduce+broadcast", n, packets); err != nil {
+		return nil, err
+	}
+	depth := func(i int) int { return bits.Len(uint(i+1)) - 1 }
+	treeDepth := depth(n - 1)
+	// Reduce message r(i) = id i-1; broadcast message b(i) = id n-2+i.
+	d := &DAG{Name: "reduce-bcast", Messages: make([]Message, 0, 2*(n-1))}
+	childDeps := func(i int) []int32 {
+		var deps []int32
+		for _, c := range []int{2*i + 1, 2*i + 2} {
+			if c < n {
+				deps = append(deps, int32(c-1))
+			}
+		}
+		return deps
+	}
+	for i := 1; i < n; i++ {
+		d.Messages = append(d.Messages, Message{
+			Src:     i,
+			Dst:     (i - 1) / 2,
+			Packets: packets,
+			Step:    treeDepth - depth(i),
+			Deps:    childDeps(i),
+		})
+	}
+	for i := 1; i < n; i++ {
+		p := (i - 1) / 2
+		m := Message{
+			Src:     p,
+			Dst:     i,
+			Packets: packets,
+			Step:    treeDepth + depth(i) - 1,
+		}
+		if p == 0 {
+			m.Deps = childDeps(0) // the root holds the result once its subtrees report
+		} else {
+			m.Deps = []int32{int32(n - 2 + p)}
+		}
+		d.Messages = append(d.Messages, m)
+	}
+	return d, nil
+}
+
+// AllToAll builds the (n-1)-round shifted personalized exchange: in round
+// r (1-based), node i sends to (i+r) mod n. Each node is self-serialized —
+// its round-r send waits on the delivery of its own round-(r-1) send —
+// which spreads the rounds without a global barrier.
+func AllToAll(n, packets int) (*DAG, error) {
+	if err := checkShape("all-to-all", n, packets); err != nil {
+		return nil, err
+	}
+	d := &DAG{Name: "alltoall", Messages: make([]Message, 0, (n-1)*n)}
+	for r := 1; r < n; r++ {
+		for i := 0; i < n; i++ {
+			m := Message{Src: i, Dst: (i + r) % n, Packets: packets, Step: r - 1}
+			if r > 1 {
+				m.Deps = []int32{int32((r-2)*n + i)}
+			}
+			d.Messages = append(d.Messages, m)
+		}
+	}
+	return d, nil
+}
+
+// Incast builds the parameter-server push: every node except node 0 sends
+// one message to node 0, all eligible at once. It is the worst-case
+// many-to-one burst for the tree root region the paper's hot-spot metric
+// (Table 3) worries about.
+func Incast(n, packets int) (*DAG, error) {
+	if err := checkShape("incast", n, packets); err != nil {
+		return nil, err
+	}
+	d := &DAG{Name: "incast", Messages: make([]Message, 0, n-1)}
+	for i := 1; i < n; i++ {
+		d.Messages = append(d.Messages, Message{Src: i, Dst: 0, Packets: packets, Step: 0})
+	}
+	return d, nil
+}
+
+// Names returns the built-in collective names in canonical study order.
+func Names() []string {
+	return []string{"allreduce", "reduce-bcast", "allgather", "alltoall", "incast"}
+}
+
+// ByName builds the named collective for an n-node topology with the given
+// message size in packets. The name must be one of Names().
+func ByName(name string, n, packets int) (*DAG, error) {
+	switch name {
+	case "allreduce":
+		return RingAllReduce(n, packets)
+	case "reduce-bcast":
+		return TreeReduceBroadcast(n, packets)
+	case "allgather":
+		return AllGather(n, packets)
+	case "alltoall":
+		return AllToAll(n, packets)
+	case "incast":
+		return Incast(n, packets)
+	}
+	return nil, fmt.Errorf("workload: unknown collective %q (have %v)", name, Names())
+}

@@ -1,0 +1,330 @@
+package workload
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/cgraph"
+	"repro/internal/core"
+	"repro/internal/ctree"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/wormsim"
+)
+
+// buildNet builds a verified DOWN/UP routing function over a random
+// irregular network for driver tests.
+func buildNet(t *testing.T, seed uint64, switches, ports int) (*routing.Function, *routing.Table) {
+	t.Helper()
+	g, err := topology.RandomIrregular(
+		topology.IrregularConfig{Switches: switches, Ports: ports, Fill: 1}, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ctree.Build(g, ctree.M1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := core.DownUp{}.Build(cgraph.Build(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fn.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	return fn, routing.NewTable(fn)
+}
+
+func TestGeneratorShapes(t *testing.T) {
+	const n, p = 9, 3
+	cases := []struct {
+		name     string
+		messages int
+		steps    int
+	}{
+		{"allreduce", 2 * (n - 1) * n, 2 * (n - 1)},
+		{"allgather", (n - 1) * n, n - 1},
+		{"alltoall", (n - 1) * n, n - 1},
+		{"incast", n - 1, 1},
+		{"reduce-bcast", 2 * (n - 1), 6}, // tree depth 3 -> 3 reduce + 3 bcast steps
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := ByName(tc.name, n, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.Name != tc.name {
+				t.Fatalf("name %q, want %q", d.Name, tc.name)
+			}
+			if len(d.Messages) != tc.messages {
+				t.Fatalf("%d messages, want %d", len(d.Messages), tc.messages)
+			}
+			if d.Steps() != tc.steps {
+				t.Fatalf("%d steps, want %d", d.Steps(), tc.steps)
+			}
+			if d.TotalPackets() != tc.messages*p {
+				t.Fatalf("%d packets, want %d", d.TotalPackets(), tc.messages*p)
+			}
+			if err := d.Validate(n); err != nil {
+				t.Fatal(err)
+			}
+			// Dependencies must point strictly backwards in step order —
+			// a sufficient (not necessary) acyclicity witness that also
+			// pins the step labeling.
+			for i := range d.Messages {
+				for _, dep := range d.Messages[i].Deps {
+					if d.Messages[dep].Step >= d.Messages[i].Step {
+						t.Fatalf("message %d (step %d) depends on %d (step %d)",
+							i, d.Messages[i].Step, dep, d.Messages[dep].Step)
+					}
+				}
+			}
+		})
+	}
+	if _, err := ByName("bogus", n, p); err == nil {
+		t.Fatal("unknown collective accepted")
+	}
+	for _, name := range Names() {
+		if _, err := ByName(name, 1, p); err == nil {
+			t.Fatalf("%s accepted a 1-node topology", name)
+		}
+		if _, err := ByName(name, n, 0); err == nil {
+			t.Fatalf("%s accepted a 0-packet message size", name)
+		}
+	}
+}
+
+func TestRingAllReduceDependencies(t *testing.T) {
+	d, err := RingAllReduce(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step-0 messages are roots; message (s, i) depends on (s-1, i-1 mod n).
+	for i := 0; i < 5; i++ {
+		if len(d.Messages[i].Deps) != 0 {
+			t.Fatalf("step-0 message %d has deps %v", i, d.Messages[i].Deps)
+		}
+	}
+	m := d.Messages[2*5+3] // step 2, node 3
+	if m.Src != 3 || m.Dst != 4 {
+		t.Fatalf("message (2,3) is %d -> %d", m.Src, m.Dst)
+	}
+	if len(m.Deps) != 1 || m.Deps[0] != int32(1*5+2) {
+		t.Fatalf("message (2,3) deps %v, want [(1,2)]", m.Deps)
+	}
+}
+
+func TestValidateRejectsBadDAGs(t *testing.T) {
+	bad := []DAG{
+		{Name: "self", Messages: []Message{{Src: 1, Dst: 1, Packets: 1}}},
+		{Name: "range", Messages: []Message{{Src: 0, Dst: 99, Packets: 1}}},
+		{Name: "packets", Messages: []Message{{Src: 0, Dst: 1, Packets: 0}}},
+		{Name: "dep-range", Messages: []Message{{Src: 0, Dst: 1, Packets: 1, Deps: []int32{7}}}},
+		{Name: "cycle", Messages: []Message{
+			{Src: 0, Dst: 1, Packets: 1, Deps: []int32{1}},
+			{Src: 1, Dst: 0, Packets: 1, Deps: []int32{0}},
+		}},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(4); err == nil {
+			t.Fatalf("DAG %q accepted", bad[i].Name)
+		}
+		if _, err := NewEngine(&bad[i], 4); err == nil {
+			t.Fatalf("NewEngine accepted DAG %q", bad[i].Name)
+		}
+	}
+	if _, err := NewEngine(&DAG{Name: "empty"}, 4); err == nil {
+		t.Fatal("NewEngine accepted an empty DAG")
+	}
+}
+
+// TestEngineSchedulesDependencies drives the scheduler by hand (no
+// simulator) and checks eligibility gating, multi-packet accounting, and
+// the stats clocks.
+func TestEngineSchedulesDependencies(t *testing.T) {
+	d := &DAG{Name: "hand", Messages: []Message{
+		{Src: 0, Dst: 1, Packets: 2, Step: 0},
+		{Src: 1, Dst: 2, Packets: 1, Step: 1, Deps: []int32{0}},
+	}}
+	e, err := NewEngine(d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := e.NextPacket(1); ok {
+		t.Fatal("dependent message eligible before its dependency delivered")
+	}
+	dst, tag, ok := e.NextPacket(0)
+	if !ok || dst != 1 || tag != 0 {
+		t.Fatalf("first poll: (%d, %d, %v)", dst, tag, ok)
+	}
+	if _, _, ok := e.NextPacket(0); !ok {
+		t.Fatal("second packet of message 0 not offered")
+	}
+	if _, _, ok := e.NextPacket(0); ok {
+		t.Fatal("message 0 offered more packets than it has")
+	}
+	e.Delivered(0, 10)
+	if _, _, ok := e.NextPacket(1); ok {
+		t.Fatal("message 1 eligible after partial delivery of its dependency")
+	}
+	e.Delivered(0, 12)
+	dst, tag, ok = e.NextPacket(1)
+	if !ok || dst != 2 || tag != 1 {
+		t.Fatalf("post-dependency poll: (%d, %d, %v)", dst, tag, ok)
+	}
+	if e.Done() {
+		t.Fatal("Done before final delivery")
+	}
+	e.Delivered(1, 20)
+	if !e.Done() {
+		t.Fatal("not Done after all deliveries")
+	}
+	st := e.Stats()
+	want := Stats{
+		Name: "hand", Messages: 2, Packets: 3, Makespan: 20,
+		AvgMessageLatency: 10, MaxMessageLatency: 12,
+		StepCompletion: []int{12, 20},
+	}
+	if !reflect.DeepEqual(st, want) {
+		t.Fatalf("stats %+v, want %+v", st, want)
+	}
+}
+
+// TestRunCompletesAllCollectives runs every built-in collective to
+// completion on a small network and sanity-checks the stats.
+func TestRunCompletesAllCollectives(t *testing.T) {
+	fn, tb := buildNet(t, 11, 16, 4)
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			d, err := ByName(name, 16, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, res, err := Run(fn, tb, d, wormsim.Config{PacketLength: 16, Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Makespan <= 0 {
+				t.Fatalf("makespan %d", st.Makespan)
+			}
+			if err := res.CheckConservation(); err != nil {
+				t.Fatal(err)
+			}
+			if res.FlitsInjected != int64(d.TotalPackets()*16) {
+				t.Fatalf("injected %d flits, want %d", res.FlitsInjected, d.TotalPackets()*16)
+			}
+			// Ring and shifted-exchange steps are totally ordered (every
+			// step-s message depends on a step-(s-1) one), so their
+			// completion times are monotone. The tree collective's are
+			// not: an uneven tree's deepest broadcast can outrun the rest
+			// of the previous step.
+			monotone := name == "allreduce" || name == "allgather" || name == "alltoall"
+			last := 0
+			for s, c := range st.StepCompletion {
+				if c <= 0 || c > st.Makespan {
+					t.Fatalf("step %d completion %d outside (0, %d]", s, c, st.Makespan)
+				}
+				if monotone && s > 0 && c < st.StepCompletion[s-1] {
+					t.Fatalf("step %d completed at %d before step %d at %d",
+						s, c, s-1, st.StepCompletion[s-1])
+				}
+				if c > last {
+					last = c
+				}
+			}
+			if last != st.Makespan {
+				t.Fatalf("latest step completion %d differs from makespan %d", last, st.Makespan)
+			}
+		})
+	}
+}
+
+// TestRunBudgetError pins the budget-exhaustion path: an absurdly small
+// budget fails loudly instead of hanging.
+func TestRunBudgetError(t *testing.T) {
+	fn, tb := buildNet(t, 12, 16, 4)
+	d, err := RingAllReduce(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Run(fn, tb, d, wormsim.Config{PacketLength: 16, MeasureCycles: 64, Seed: 3}); err == nil {
+		t.Fatal("64-cycle budget accepted for a full all-reduce")
+	}
+}
+
+// TestRunEnginesByteIdentical extends the wormsim differential guarantee to
+// the real DAG scheduler: every collective must produce byte-identical
+// stats and simulator counters under EngineScan and EngineEvent, across
+// source-routed and adaptive modes.
+func TestRunEnginesByteIdentical(t *testing.T) {
+	fn, tb := buildNet(t, 13, 24, 4)
+	for _, mode := range []wormsim.Mode{wormsim.SourceRouted, wormsim.Adaptive} {
+		for _, name := range Names() {
+			t.Run(name+"/"+mode.String(), func(t *testing.T) {
+				type out struct {
+					St  Stats
+					Res *wormsim.Result
+				}
+				var outs [2]out
+				for i, engine := range []wormsim.Engine{wormsim.EngineScan, wormsim.EngineEvent} {
+					d, err := ByName(name, 24, 2)
+					if err != nil {
+						t.Fatal(err)
+					}
+					st, res, err := Run(fn, tb, d, wormsim.Config{
+						Mode:         mode,
+						PacketLength: 16,
+						Seed:         5,
+						Engine:       engine,
+					})
+					if err != nil {
+						t.Fatalf("engine %v: %v", engine, err)
+					}
+					outs[i] = out{St: st, Res: res}
+				}
+				sj, err := json.Marshal(outs[0])
+				if err != nil {
+					t.Fatal(err)
+				}
+				ej, err := json.Marshal(outs[1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(sj) != string(ej) {
+					t.Fatalf("engines diverge:\nscan:  %s\nevent: %s", sj, ej)
+				}
+			})
+		}
+	}
+}
+
+// TestRunDeterministic pins run-to-run determinism: two identical Runs
+// yield identical stats and counters.
+func TestRunDeterministic(t *testing.T) {
+	fn, tb := buildNet(t, 14, 16, 4)
+	var got [2]string
+	for i := range got {
+		d, err := AllToAll(16, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, res, err := Run(fn, tb, d, wormsim.Config{Mode: wormsim.Adaptive, PacketLength: 16, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(struct {
+			St  Stats
+			Res *wormsim.Result
+		}{st, res})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[i] = string(b)
+	}
+	if got[0] != got[1] {
+		t.Fatalf("repeat runs diverge:\n%s\n%s", got[0], got[1])
+	}
+}

@@ -81,38 +81,59 @@ func BenchmarkSweep(b *testing.B) {
 // once the network is warm and the unbounded ledgers (the packet table, the
 // latency sample, the source queues) have been given room, a simulation
 // cycle allocates nothing. Adaptive mode is used because source-routed
-// packets intrinsically allocate their route slice at creation.
+// packets intrinsically allocate their route slice at creation. The
+// closed-loop subtest runs the same check over the Workload injection path
+// (poll + delivery notification), with a fixed-capacity token-circulation
+// source.
 func TestSteadyStateAllocs(t *testing.T) {
-	f, tb := randomFn(t, 21, 32, 4, core.DownUp{})
-	sim, err := New(f, tb, Config{
-		Mode:          Adaptive,
-		PacketLength:  8,
-		InjectionRate: 0.2,
-		WarmupCycles:  NoWarmup,
-		MeasureCycles: 1 << 30,
-		Seed:          5,
-	})
-	if err != nil {
-		t.Fatal(err)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{name: "open-loop", cfg: Config{
+			Mode:          Adaptive,
+			PacketLength:  8,
+			InjectionRate: 0.2,
+			WarmupCycles:  NoWarmup,
+			MeasureCycles: 1 << 30,
+			Seed:          5,
+		}},
+		{name: "closed-loop", cfg: Config{
+			Mode:          Adaptive,
+			PacketLength:  8,
+			Workload:      newTokenRing(32, 16),
+			WarmupCycles:  NoWarmup,
+			MeasureCycles: 1 << 30,
+			Seed:          5,
+		}},
 	}
-	if err := sim.RunCycles(5000); err != nil {
-		t.Fatal(err)
-	}
-	// Pre-reserve the growth inherent to an ever-running simulation so the
-	// measurement isolates the cycle loop's own behavior.
-	sim.packets = append(make([]packet, 0, len(sim.packets)+1<<16), sim.packets...)
-	sim.latencies = append(make([]int32, 0, len(sim.latencies)+1<<16), sim.latencies...)
-	for v := range sim.queues {
-		q := make([]int32, len(sim.queues[v]), 4096)
-		copy(q, sim.queues[v])
-		sim.queues[v] = q
-	}
-	avg := testing.AllocsPerRun(500, func() {
-		if err := sim.RunCycles(1); err != nil {
-			t.Fatal(err)
-		}
-	})
-	if avg > 0 {
-		t.Fatalf("steady-state cycle allocates: %v allocs/cycle, want 0", avg)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, tb := randomFn(t, 21, 32, 4, core.DownUp{})
+			sim, err := New(f, tb, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sim.RunCycles(5000); err != nil {
+				t.Fatal(err)
+			}
+			// Pre-reserve the growth inherent to an ever-running simulation
+			// so the measurement isolates the cycle loop's own behavior.
+			sim.packets = append(make([]packet, 0, len(sim.packets)+1<<16), sim.packets...)
+			sim.latencies = append(make([]int32, 0, len(sim.latencies)+1<<16), sim.latencies...)
+			for v := range sim.queues {
+				q := make([]int32, len(sim.queues[v]), 4096)
+				copy(q, sim.queues[v])
+				sim.queues[v] = q
+			}
+			avg := testing.AllocsPerRun(500, func() {
+				if err := sim.RunCycles(1); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg > 0 {
+				t.Fatalf("steady-state cycle allocates: %v allocs/cycle, want 0", avg)
+			}
+		})
 	}
 }

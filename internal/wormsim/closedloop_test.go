@@ -1,0 +1,216 @@
+package wormsim
+
+// Closed-loop injection tests: in-package fakes of the ClosedLoop interface
+// (the real dependency-DAG engine lives in internal/workload, which imports
+// this package and carries its own differential suite). These fakes cover
+// the simulator-side mechanism: polling order, delivery notification, the
+// open-loop/closed-loop config exclusion, and the steady-state allocation
+// guarantee over the closed-loop path.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// chainLoop is a serial dependency chain: message i (p packets, from
+// i mod n to a deterministic other node) becomes eligible only when message
+// i-1 has fully delivered. It exercises multi-packet messages and strict
+// cross-node ordering.
+type chainLoop struct {
+	n, msgs, p     int
+	cur            int // current message id
+	sent, deliv    int // packets of the current message sent / delivered
+	totalDelivered int
+}
+
+func newChainLoop(n, msgs, packets int) *chainLoop {
+	return &chainLoop{n: n, msgs: msgs, p: packets}
+}
+
+func (c *chainLoop) src(i int) int { return i % c.n }
+
+func (c *chainLoop) dst(i int) int { return (c.src(i) + 1 + i%(c.n-1)) % c.n }
+
+func (c *chainLoop) NextPacket(node int) (int, int64, bool) {
+	if c.cur >= c.msgs || c.sent == c.p || node != c.src(c.cur) {
+		return 0, 0, false
+	}
+	c.sent++
+	return c.dst(c.cur), int64(c.cur), true
+}
+
+func (c *chainLoop) Delivered(tag int64, cycle int) {
+	if int(tag) != c.cur {
+		panic("chainLoop: delivery for a message that is not current")
+	}
+	c.deliv++
+	c.totalDelivered++
+	if c.deliv == c.p {
+		c.cur++
+		c.sent, c.deliv = 0, 0
+	}
+}
+
+func (c *chainLoop) Done() bool { return c.cur >= c.msgs }
+
+// fanLoop is a two-phase fan-out/fan-in: node 0 sends one packet to every
+// other node; each node replies to 0 once its packet arrives. It exercises
+// concurrent eligibility and the incast delivery path.
+type fanLoop struct {
+	n          int
+	next       int // next fan-out destination
+	replyReady []bool
+	replySent  []bool
+	replies    int
+}
+
+func newFanLoop(n int) *fanLoop {
+	return &fanLoop{n: n, next: 1, replyReady: make([]bool, n), replySent: make([]bool, n)}
+}
+
+func (f *fanLoop) NextPacket(node int) (int, int64, bool) {
+	if node == 0 {
+		if f.next < f.n {
+			d := f.next
+			f.next++
+			return d, int64(d), true
+		}
+		return 0, 0, false
+	}
+	if f.replyReady[node] && !f.replySent[node] {
+		f.replySent[node] = true
+		return 0, int64(f.n + node), true
+	}
+	return 0, 0, false
+}
+
+func (f *fanLoop) Delivered(tag int64, cycle int) {
+	if int(tag) < f.n {
+		f.replyReady[tag] = true
+		return
+	}
+	f.replies++
+}
+
+func (f *fanLoop) Done() bool { return f.replies == f.n-1 }
+
+// tokenRing circulates a fixed set of tokens forever: a token delivered at
+// node v is immediately eligible to hop to v+1. All state is fixed-capacity,
+// so the source is allocation-free — the closed-loop half of the
+// steady-state allocation guarantee.
+type tokenRing struct {
+	n     int
+	ready [][]int32
+	rhead []int
+	rsize []int
+}
+
+func newTokenRing(n, tokens int) *tokenRing {
+	tr := &tokenRing{
+		n:     n,
+		ready: make([][]int32, n),
+		rhead: make([]int, n),
+		rsize: make([]int, n),
+	}
+	for v := 0; v < n; v++ {
+		tr.ready[v] = make([]int32, tokens)
+	}
+	for t := 0; t < tokens; t++ {
+		tr.push(t%n, int32(t))
+	}
+	return tr
+}
+
+func (tr *tokenRing) push(v int, t int32) {
+	q := tr.ready[v]
+	q[(tr.rhead[v]+tr.rsize[v])%len(q)] = t
+	tr.rsize[v]++
+}
+
+func (tr *tokenRing) NextPacket(node int) (int, int64, bool) {
+	if tr.rsize[node] == 0 {
+		return 0, 0, false
+	}
+	t := tr.ready[node][tr.rhead[node]]
+	tr.rhead[node] = (tr.rhead[node] + 1) % len(tr.ready[node])
+	tr.rsize[node]--
+	dst := (node + 1) % tr.n
+	return dst, int64(t)*int64(tr.n) + int64(dst), true
+}
+
+func (tr *tokenRing) Delivered(tag int64, cycle int) {
+	tr.push(int(tag%int64(tr.n)), int32(tag/int64(tr.n)))
+}
+
+func (tr *tokenRing) Done() bool { return false }
+
+// TestClosedLoopExcludesOpenLoopKnobs pins the config contract: a closed-
+// loop source cannot be combined with the open-loop arrival knobs.
+func TestClosedLoopExcludesOpenLoopKnobs(t *testing.T) {
+	f, tb := randomFn(t, 31, 8, 4, core.DownUp{})
+	bad := []Config{
+		{Workload: newFanLoop(8), InjectionRate: 0.1},
+		{Workload: newFanLoop(8), MeanBurst: 4},
+		{Workload: newFanLoop(8), Pattern: fakePattern{}},
+	}
+	for i, cfg := range bad {
+		if _, err := New(f, tb, cfg); err == nil {
+			t.Fatalf("config %d: closed-loop source combined with open-loop knobs accepted", i)
+		}
+	}
+	if _, err := New(f, tb, Config{Workload: newFanLoop(8)}); err != nil {
+		t.Fatalf("pure closed-loop config rejected: %v", err)
+	}
+}
+
+type fakePattern struct{}
+
+func (fakePattern) Name() string { return "fake" }
+
+func (fakePattern) Dest(src int, _ *rng.Rng) int { return (src + 1) % 2 }
+
+// TestClosedLoopCompletesAndNotifies runs the chain workload to completion
+// on both engines and checks every delivery was reported back.
+func TestClosedLoopCompletesAndNotifies(t *testing.T) {
+	const msgs, pkts = 30, 2
+	for _, engine := range []Engine{EngineScan, EngineEvent} {
+		cl := newChainLoop(16, msgs, pkts)
+		f, tb := randomFn(t, 32, 16, 4, core.DownUp{})
+		sim, err := New(f, tb, Config{
+			PacketLength:  16,
+			Workload:      cl,
+			WarmupCycles:  NoWarmup,
+			MeasureCycles: 200000,
+			Seed:          9,
+			Engine:        engine,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for !cl.Done() {
+			if err := sim.RunCycles(256); err != nil {
+				t.Fatalf("engine %v: %v", engine, err)
+			}
+			if sim.Cycle() > 150000 {
+				t.Fatalf("engine %v: chain workload did not complete", engine)
+			}
+		}
+		for sim.InFlight() > 0 {
+			if err := sim.RunCycles(64); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res := sim.Finish()
+		if cl.totalDelivered != msgs*pkts {
+			t.Fatalf("engine %v: %d packet deliveries notified, want %d", engine, cl.totalDelivered, msgs*pkts)
+		}
+		if res.FlitsInjected != int64(msgs*pkts*16) {
+			t.Fatalf("engine %v: injected %d flits, want %d", engine, res.FlitsInjected, msgs*pkts*16)
+		}
+		if err := res.CheckConservation(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -76,11 +76,14 @@ func TestEnginesByteIdentical(t *testing.T) {
 	recoverRing := recoveringRingConfig()
 
 	scenarios := []struct {
-		name    string
-		build   func(t *testing.T) (*routing.Function, *routing.Table)
-		cfg     Config
-		drive   diffDrive // nil = plain Run
-		wantErr bool
+		name  string
+		build func(t *testing.T) (*routing.Function, *routing.Table)
+		cfg   Config
+		drive diffDrive // nil = plain Run
+		// workload builds a fresh closed-loop source per engine run (the
+		// sources are stateful and single-use).
+		workload func() ClosedLoop
+		wantErr  bool
 	}{
 		{name: "downup/light", build: net(1, 4, core.DownUp{}), cfg: base},
 		{name: "downup/seed2", build: net(2, 4, core.DownUp{}), cfg: at(func(c *Config) { c.Seed = 99 })},
@@ -100,6 +103,23 @@ func TestEnginesByteIdentical(t *testing.T) {
 		{name: "faults/source-routed", build: net(15, 4, core.DownUp{}), cfg: base, drive: driveKills(base.WarmupCycles + base.MeasureCycles)},
 		{name: "faults/adaptive", build: net(16, 4, core.DownUp{}), cfg: at(func(c *Config) { c.Mode = Adaptive }), drive: driveKills(base.WarmupCycles + base.MeasureCycles)},
 		{name: "faults/2vc", build: net(17, 4, core.DownUp{}), cfg: at(func(c *Config) { c.VirtualChannels = 2; c.InjectionRate = 0.3 }), drive: driveKills(base.WarmupCycles + base.MeasureCycles)},
+		{name: "closedloop/chain", build: net(18, 4, core.DownUp{}), cfg: at(func(c *Config) {
+			c.InjectionRate = 0
+			c.WarmupCycles = NoWarmup
+			c.MeasureCycles = 60000
+		}), workload: func() ClosedLoop { return newChainLoop(32, 40, 2) }},
+		{name: "closedloop/fanout-adaptive", build: net(19, 4, core.DownUp{}), cfg: at(func(c *Config) {
+			c.InjectionRate = 0
+			c.Mode = Adaptive
+			c.WarmupCycles = NoWarmup
+			c.MeasureCycles = 20000
+		}), workload: func() ClosedLoop { return newFanLoop(32) }},
+		{name: "closedloop/tokens-2vc", build: net(20, 4, core.DownUp{}), cfg: at(func(c *Config) {
+			c.InjectionRate = 0
+			c.VirtualChannels = 2
+			c.WarmupCycles = NoWarmup
+			c.MeasureCycles = 8000
+		}), workload: func() ClosedLoop { return newTokenRing(32, 12) }},
 		{name: "recovery/ring4", build: ring(4), cfg: recoverRing},
 		{name: "recovery/ring6-retries", build: ring(6), cfg: at(func(c *Config) {
 			*c = recoveringRingConfig()
@@ -128,8 +148,8 @@ func TestEnginesByteIdentical(t *testing.T) {
 		}), wantErr: true},
 	}
 
-	if len(scenarios) < 20 {
-		t.Fatalf("differential matrix shrank to %d scenarios; keep it at >= 20", len(scenarios))
+	if len(scenarios) < 24 {
+		t.Fatalf("differential matrix shrank to %d scenarios; keep it at >= 24", len(scenarios))
 	}
 	for _, sc := range scenarios {
 		t.Run(sc.name, func(t *testing.T) {
@@ -148,6 +168,9 @@ func TestEnginesByteIdentical(t *testing.T) {
 				cfg := sc.cfg
 				cfg.Engine = engine
 				cfg.Trace = &out[i].trace
+				if sc.workload != nil {
+					cfg.Workload = sc.workload()
+				}
 				sim, err := New(fn, tb, cfg)
 				if err != nil {
 					t.Fatal(err)

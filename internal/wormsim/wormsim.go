@@ -175,6 +175,16 @@ type Config struct {
 	// times DeadlockThreshold when RecoverDeadlocks is set, disabled
 	// otherwise; NoLivelockCheck disables the bound explicitly.
 	LivelockThreshold int
+	// Workload, if non-nil, switches injection from the open-loop arrival
+	// process to the closed loop it implements: every cycle each live node
+	// polls Workload.NextPacket for its next packet, and every delivered
+	// packet is reported back through Workload.Delivered — the interface a
+	// dependency-driven job engine (package workload) needs to release
+	// successor messages only after their inputs arrive. Mutually exclusive
+	// with InjectionRate, Pattern, and MeanBurst (validated). Both engines
+	// drive the workload through the same shared per-node code, so results
+	// stay byte-identical across Engine choices.
+	Workload ClosedLoop
 	// Trace, if non-nil, receives one CSV line per packet delivered during
 	// the measurement window: pkt,src,dst,created,injected,delivered,hops.
 	// A header line is written first. Tracing costs one formatted write per
@@ -184,6 +194,37 @@ type Config struct {
 	// the O(active) fast path) or EngineScan (the original full-scan
 	// baseline). The two are byte-identical in results; see Engine.
 	Engine Engine
+}
+
+// ClosedLoop is a closed-loop packet source: instead of the open-loop
+// Bernoulli/ON-OFF arrival process, the simulator polls it for work and
+// reports every completed delivery back, which is what a dependency-driven
+// workload needs to hold a message until its inputs have arrived. The
+// simulator calls the three methods from a single goroutine, in a
+// deterministic order that is identical under both engines:
+//
+//   - NextPacket(v) is called at most once per cycle per live node, in
+//     ascending node order, after the cycle's deliveries;
+//   - Delivered(tag, cycle) is called once per packet, when its tail flit
+//     is consumed by the destination processor, in ascending destination
+//     order within a cycle;
+//   - Done is consulted by drivers (not the simulator itself) to decide
+//     when the workload has fully completed.
+//
+// Implementations must be deterministic and should not allocate in steady
+// state (the event engine's zero-allocation guarantee extends over the
+// closed-loop path; see TestSteadyStateAllocs).
+type ClosedLoop interface {
+	// NextPacket returns the destination and workload tag of the next
+	// packet node should inject, or ok=false if the node has nothing
+	// eligible this cycle. The tag is echoed back through Delivered.
+	NextPacket(node int) (dst int, tag int64, ok bool)
+	// Delivered reports that the packet injected with tag completed
+	// delivery (tail flit consumed) at the given cycle.
+	Delivered(tag int64, cycle int)
+	// Done reports whether every packet of the workload has been injected
+	// and delivered.
+	Done() bool
 }
 
 // Selection chooses among the free candidate output channels in Adaptive
@@ -302,6 +343,9 @@ func (c Config) validate(n int) error {
 	}
 	if c.Engine != EngineEvent && c.Engine != EngineScan {
 		return fmt.Errorf("wormsim: unknown Engine %d", c.Engine)
+	}
+	if c.Workload != nil && (c.InjectionRate != 0 || c.Pattern != nil || c.MeanBurst != 0) {
+		return fmt.Errorf("wormsim: Workload is a closed-loop source; InjectionRate, Pattern, and MeanBurst must stay unset")
 	}
 	if n < 2 {
 		return fmt.Errorf("wormsim: need at least 2 switches, got %d", n)
@@ -452,6 +496,7 @@ type packet struct {
 	route     []int32
 	hop       int32 // next route index the header will use (source-routed)
 	hops      int32 // switch-to-switch channels traversed by the header
+	tag       int64 // closed-loop workload tag (noTag under open loop)
 	// Recovery state.
 	firstInjected int32 // cycle of the first injection ever; -1 until then (survives aborts)
 	retries       int32 // abort/re-inject attempts so far
@@ -461,6 +506,7 @@ type packet struct {
 const (
 	noOwner = int32(-1)
 	noVCL   = int32(-1)
+	noTag   = int64(-1)
 )
 
 // Simulator runs wormhole simulations for one routing function. Create one
@@ -507,8 +553,8 @@ type Simulator struct {
 	cycle     int  // completed cycles (warmup + measurement so far)
 	started   bool // first RunCycles call happened (trace header written)
 	finished  bool
-	paused    bool // injection of new packets suspended (draining)
-	faulted   bool // at least one fault was injected
+	paused    bool   // injection of new packets suspended (draining)
+	faulted   bool   // at least one fault was injected
 	deadWire  []bool // per physical wire: killed by fault injection
 	deadNode  []bool // per switch: killed by fault injection
 
@@ -593,23 +639,33 @@ func New(fn *routing.Function, tb routing.PathSource, cfg Config) (*Simulator, e
 	s.sources = make([]traffic.Generator, n)
 	s.pathRng = make([]*rng.Rng, n)
 	root := rng.New(cfg.Seed)
-	pattern := cfg.Pattern
-	if pattern == nil {
-		pattern = traffic.Uniform{N: n}
-	}
-	for v := 0; v < n; v++ {
-		var src traffic.Generator
-		var err error
-		if cfg.MeanBurst > 0 {
-			src, err = traffic.NewBurstySource(v, cfg.InjectionRate, cfg.MeanBurst, cfg.PacketLength, pattern, root.Split())
-		} else {
-			src, err = traffic.NewSource(v, cfg.InjectionRate, cfg.PacketLength, pattern, root.Split())
+	if cfg.Workload == nil {
+		pattern := cfg.Pattern
+		if pattern == nil {
+			pattern = traffic.Uniform{N: n}
 		}
-		if err != nil {
-			return nil, err
+		for v := 0; v < n; v++ {
+			var src traffic.Generator
+			var err error
+			if cfg.MeanBurst > 0 {
+				src, err = traffic.NewBurstySource(v, cfg.InjectionRate, cfg.MeanBurst, cfg.PacketLength, pattern, root.Split())
+			} else {
+				src, err = traffic.NewSource(v, cfg.InjectionRate, cfg.PacketLength, pattern, root.Split())
+			}
+			if err != nil {
+				return nil, err
+			}
+			s.sources[v] = src
+			s.pathRng[v] = root.Split()
 		}
-		s.sources[v] = src
-		s.pathRng[v] = root.Split()
+	} else {
+		// Closed loop: no arrival process, but path sampling still draws
+		// from the same per-node streams (split in the same order, so a
+		// given Seed explores the same path randomness either way).
+		for v := 0; v < n; v++ {
+			root.Split()
+			s.pathRng[v] = root.Split()
+		}
 	}
 	s.arbRng = root.Split()
 	s.deadWire = make([]bool, s.wires)
@@ -788,6 +844,9 @@ func (s *Simulator) deliverEject(v int) {
 				f.pkt, p.src, p.dst, p.created, p.injected, s.now, p.hops)
 		}
 		p.route = nil // release path memory
+		if s.cfg.Workload != nil {
+			s.cfg.Workload.Delivered(p.tag, int(s.now))
+		}
 	}
 }
 
@@ -1067,8 +1126,24 @@ func (s *Simulator) feedNode(v int) bool {
 	return s.qHead[v] >= len(s.queues[v])
 }
 
-// generate creates new packets per the Bernoulli injection process.
+// generate creates new packets: from the open-loop arrival processes, or,
+// under Config.Workload, by polling the closed-loop source. Both branches
+// funnel into spawnPacket, so path selection, unroutable accounting, and
+// event-engine wakeups are identical.
 func (s *Simulator) generate() {
+	if s.cfg.Workload != nil {
+		for v := 0; v < s.n; v++ {
+			if s.deadNode[v] {
+				continue
+			}
+			dst, tag, ok := s.cfg.Workload.NextPacket(v)
+			if !ok {
+				continue
+			}
+			s.spawnPacket(v, dst, tag)
+		}
+		return
+	}
 	for v := 0; v < s.n; v++ {
 		if s.deadNode[v] {
 			continue
@@ -1077,65 +1152,74 @@ func (s *Simulator) generate() {
 		if !ok {
 			continue
 		}
-		p := packet{
-			src:           int32(v),
-			dst:           int32(dst),
-			length:        int32(s.cfg.PacketLength),
-			created:       s.now,
-			injected:      -1,
-			firstInjected: -1,
+		s.spawnPacket(v, dst, noTag)
+	}
+}
+
+// spawnPacket creates one packet from v to dst, samples its route per the
+// configured mode, and queues it at the source. It is the shared tail of
+// both injection processes; a packet to an unreachable destination (only
+// possible after faults) is discarded and counted in PacketsUnroutable.
+func (s *Simulator) spawnPacket(v, dst int, tag int64) {
+	p := packet{
+		src:           int32(v),
+		dst:           int32(dst),
+		length:        int32(s.cfg.PacketLength),
+		created:       s.now,
+		injected:      -1,
+		firstInjected: -1,
+		tag:           tag,
+	}
+	switch s.cfg.Mode {
+	case SourceRouted:
+		path, err := s.tb.SamplePath(v, dst, s.pathRng[v])
+		if err != nil {
+			// After a fault the destination may be legitimately
+			// unreachable (a dead switch); on a fault-free run a
+			// verified function cannot produce this, so it is a
+			// programming error.
+			if !s.faulted {
+				panic(err)
+			}
+			s.res.PacketsUnroutable++
+			return
 		}
-		switch s.cfg.Mode {
-		case SourceRouted:
-			path, err := s.tb.SamplePath(v, dst, s.pathRng[v])
-			if err != nil {
-				// After a fault the destination may be legitimately
-				// unreachable (a dead switch); on a fault-free run a
-				// verified function cannot produce this, so it is a
-				// programming error.
-				if !s.faulted {
-					panic(err)
-				}
+		p.route = make([]int32, len(path))
+		for i, c := range path {
+			p.route[i] = int32(c)
+		}
+	case Deterministic:
+		path, err := s.tb.FixedPath(v, dst)
+		if err != nil {
+			if !s.faulted {
+				panic(err)
+			}
+			s.res.PacketsUnroutable++
+			return
+		}
+		p.route = make([]int32, len(path))
+		for i, c := range path {
+			p.route[i] = int32(c)
+		}
+	default: // Adaptive: probe reachability so a packet to a dead
+		// switch never enters the network and wanders forever.
+		if s.faulted {
+			if s.candBuf = s.tb.NextChannels(dst, routing.InjectionState(v), s.candBuf[:0]); len(s.candBuf) == 0 {
 				s.res.PacketsUnroutable++
-				continue
-			}
-			p.route = make([]int32, len(path))
-			for i, c := range path {
-				p.route[i] = int32(c)
-			}
-		case Deterministic:
-			path, err := s.tb.FixedPath(v, dst)
-			if err != nil {
-				if !s.faulted {
-					panic(err)
-				}
-				s.res.PacketsUnroutable++
-				continue
-			}
-			p.route = make([]int32, len(path))
-			for i, c := range path {
-				p.route[i] = int32(c)
-			}
-		default: // Adaptive: probe reachability so a packet to a dead
-			// switch never enters the network and wanders forever.
-			if s.faulted {
-				if s.candBuf = s.tb.NextChannels(dst, routing.InjectionState(v), s.candBuf[:0]); len(s.candBuf) == 0 {
-					s.res.PacketsUnroutable++
-					continue
-				}
+				return
 			}
 		}
-		id := int32(len(s.packets))
-		s.packets = append(s.packets, p)
-		s.queues[v] = append(s.queues[v], id)
-		if s.ev != nil {
-			s.ev.markSource(v)
-		}
-		if depth := len(s.queues[v]) - s.qHead[v]; depth > s.res.SourceQueuePeak {
-			s.res.SourceQueuePeak = depth
-		}
-		if s.measuring {
-			s.res.PacketsCreated++
-		}
+	}
+	id := int32(len(s.packets))
+	s.packets = append(s.packets, p)
+	s.queues[v] = append(s.queues[v], id)
+	if s.ev != nil {
+		s.ev.markSource(v)
+	}
+	if depth := len(s.queues[v]) - s.qHead[v]; depth > s.res.SourceQueuePeak {
+		s.res.SourceQueuePeak = depth
+	}
+	if s.measuring {
+		s.res.PacketsCreated++
 	}
 }

@@ -33,6 +33,7 @@ import (
 	"repro/internal/routing"
 	"repro/internal/topology"
 	"repro/internal/traffic"
+	"repro/internal/workload"
 	"repro/internal/wormsim"
 )
 
@@ -278,6 +279,20 @@ func Hotspot(n int, spots []int, fraction float64) Pattern {
 	return traffic.Hotspot{N: n, Spots: spots, Fraction: fraction}
 }
 
+// Transpose returns the matrix-transpose pattern on a square grid of n
+// switches ((row, col) sends to (col, row)); n must be a perfect square.
+func Transpose(n int) (Pattern, error) { return traffic.NewTranspose(n) }
+
+// BitReversePattern returns the bit-reversal pattern for n switches; n
+// must be a power of two.
+func BitReversePattern(n int) (Pattern, error) { return traffic.NewBitReverse(n) }
+
+// RandomPermutation returns a seeded fixed-point-free permutation pattern:
+// every switch sends all its traffic to one fixed partner.
+func RandomPermutation(n int, seed uint64) (Pattern, error) {
+	return traffic.NewPermutation(n, rng.New(seed))
+}
+
 // HotspotStudyOptions configures the hot-spot contention study.
 type HotspotStudyOptions = harness.HotspotOptions
 
@@ -295,6 +310,63 @@ func RunHotspotStudy(opts HotspotStudyOptions) (*HotspotStudyResults, error) {
 
 // FormatHotspot renders a hot-spot study as text.
 func FormatHotspot(r *HotspotStudyResults) string { return harness.FormatHotspot(r) }
+
+// Collective-workload types (closed-loop dependency-driven traffic; see
+// internal/workload and harness.CollectiveStudy).
+type (
+	// WorkloadDAG is a dependency-driven collective job.
+	WorkloadDAG = workload.DAG
+	// WorkloadMessage is one transfer in a collective job.
+	WorkloadMessage = workload.Message
+	// WorkloadEngine schedules a DAG as a closed-loop simulator source.
+	WorkloadEngine = workload.Engine
+	// WorkloadStats summarizes a completed collective run (makespan,
+	// per-message latency, per-step completion).
+	WorkloadStats = workload.Stats
+	// ClosedLoop is the simulator's closed-loop source interface.
+	ClosedLoop = wormsim.ClosedLoop
+	// CollectiveStudyOptions configures the collective study.
+	CollectiveStudyOptions = harness.CollectiveOptions
+	// CollectiveStudyResults is the collective study output.
+	CollectiveStudyResults = harness.CollectiveResults
+	// CollectiveStudyCell is one (ports, policy, algorithm, collective)
+	// aggregate.
+	CollectiveStudyCell = harness.CollectiveCell
+)
+
+// CollectiveNames lists the built-in collective workloads.
+func CollectiveNames() []string { return workload.Names() }
+
+// CollectiveByName builds the named collective DAG for an n-node topology
+// with the given message size in packets.
+func CollectiveByName(name string, n, packets int) (*WorkloadDAG, error) {
+	return workload.ByName(name, n, packets)
+}
+
+// RunCollective drives one collective job to completion on a fresh
+// simulator and reports its makespan statistics alongside the simulator
+// counters. The config must leave the open-loop knobs unset.
+func RunCollective(f *RoutingFunction, tb PathSource, dag *WorkloadDAG, cfg SimConfig) (WorkloadStats, *SimResult, error) {
+	return workload.Run(f, tb, dag, cfg)
+}
+
+// DefaultCollectiveOptions returns the full collective study (paper scale).
+func DefaultCollectiveOptions() CollectiveStudyOptions { return harness.DefaultCollectiveOptions() }
+
+// QuickCollectiveOptions returns the scaled-down collective study.
+func QuickCollectiveOptions() CollectiveStudyOptions { return harness.QuickCollectiveOptions() }
+
+// RunCollectiveStudy runs collectives × algorithms × tree policies × port
+// counts and aggregates makespan over samples.
+func RunCollectiveStudy(opts CollectiveStudyOptions) (*CollectiveStudyResults, error) {
+	return harness.CollectiveStudy(opts)
+}
+
+// FormatCollectives renders a collective study as text.
+func FormatCollectives(r *CollectiveStudyResults) string { return harness.FormatCollectives(r) }
+
+// CollectiveJSON renders a collective study as deterministic JSON.
+func CollectiveJSON(r *CollectiveStudyResults) ([]byte, error) { return harness.CollectiveJSON(r) }
 
 // RunEvaluation executes a full paper-style evaluation.
 func RunEvaluation(opts EvalOptions) (*EvalResults, error) { return harness.Run(opts) }

@@ -16,10 +16,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Engine performance comparison: time the event-driven fast path against
-# the full-scan baseline on the paper's 128-switch networks and write the
-# report (cycles/sec, ns/flit-hop, allocs/cycle, speedup) to
-# results/BENCH_wormsim.json. The engines are byte-identical (see
+# Engine performance comparison: time the event-driven fast path, the
+# full-scan baseline, and the partitioned parallel engine on 128- and
+# 1024-switch networks and write the report (cycles/sec, ns/flit-hop,
+# allocs/cycle, event/scan and parallel/event speedups, host core count)
+# to results/BENCH_wormsim.json. The engines are byte-identical (see
 # TestEnginesByteIdentical), so this is purely a speed measurement.
 bench:
 	mkdir -p results

@@ -46,7 +46,8 @@ func main() {
 		rates    = flag.String("rates", "", "override injection-rate sweep (comma-separated)")
 		policies = flag.String("policies", "", "override tree policies (e.g. M1,M3)")
 		adaptive = flag.Bool("adaptive", false, "use per-hop adaptive routing")
-		engine   = flag.String("engine", "event", "simulation engine: event (fast path) or scan (baseline); results are byte-identical")
+		engine   = flag.String("engine", "event", "simulation engine: event (fast path), scan (baseline), or parallel (multi-worker); results are byte-identical")
+		workers  = flag.Int("workers", 0, "worker pool size per simulation for -engine parallel (0 = GOMAXPROCS; never affects results)")
 		csvPath  = flag.String("csv", "", "also write raw observations to this CSV file")
 		svgDir   = flag.String("svg", "", "also write figure8-<ports>port.svg charts to this directory")
 		quiet    = flag.Bool("quiet", false, "suppress progress lines")
@@ -57,7 +58,7 @@ func main() {
 
 		collectives    = flag.String("collectives", "", "restrict -exp collective to these workloads (comma-separated)")
 		msgPackets     = flag.Int("msgpackets", 0, "override the collective message size in packets")
-		compareEngines = flag.Bool("compare-engines", false, "run every collective simulation on both engines and fail on divergence")
+		compareEngines = flag.Bool("compare-engines", false, "run every collective simulation on every engine and fail on divergence")
 		jsonPath       = flag.String("json", "", "also write the collective study report to this JSON file")
 	)
 	flag.Parse()
@@ -102,6 +103,9 @@ func main() {
 		opts.Engine = irnet.EngineEvent
 	case "scan":
 		opts.Engine = irnet.EngineScan
+	case "parallel":
+		opts.Engine = irnet.EngineParallel
+		opts.Workers = *workers
 	default:
 		log.Fatalf("unknown engine %q", *engine)
 	}

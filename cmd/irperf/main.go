@@ -1,20 +1,25 @@
-// Command irperf measures the two wormsim engines against each other and
+// Command irperf measures the wormsim engines against each other and
 // writes the comparison to a JSON report (the checked-in
 // results/BENCH_wormsim.json is produced by `make bench`).
 //
 // Usage:
 //
-//	irperf [-switches 128] [-ports 4,8] [-rates 0.02,0.05,0.1]
+//	irperf [-switches 128,1024] [-ports 4,8] [-rates 0.02,0.05,0.1]
 //	       [-plen 128] [-warm 2000] [-cycles 20000] [-seed 1]
-//	       [-json results/BENCH_wormsim.json]
+//	       [-workers 0] [-json results/BENCH_wormsim.json]
 //
-// For every (ports, rate) configuration irperf builds one random irregular
-// network, warms a simulator to steady state, and times the same span of
-// cycles under the scan baseline (Engine=scan) and the event-driven fast
-// path (Engine=event). Both engines are proven byte-identical by the
-// differential tests, so the report is purely about speed: cycles/sec,
-// ns/cycle, ns/flit-hop (channel traversals + ejections in the timed
-// window), allocations per cycle, and the event/scan speedup.
+// For every (switches, ports, rate) configuration irperf builds one random
+// irregular network, warms a simulator to steady state, and times the same
+// span of cycles under the scan baseline (Engine=scan), the event-driven
+// fast path (Engine=event), and the partitioned multi-worker engine
+// (Engine=parallel; -workers bounds its pool, 0 = GOMAXPROCS). All engines
+// are proven byte-identical by the differential tests, so the report is
+// purely about speed: cycles/sec, ns/cycle, ns/flit-hop (channel
+// traversals + ejections in the timed window), allocations per cycle, the
+// event/scan speedup, and the parallel/event speedup. The report records
+// the GOMAXPROCS it ran under ("cores"): the parallel engine's speedup is
+// meaningless on a single-core host (CI only enforces its floor on
+// multi-core runners).
 package main
 
 import (
@@ -42,19 +47,21 @@ type engineStats struct {
 	FlitHops       int64   `json:"flit_hops"`
 }
 
-// configReport compares the engines at one (ports, rate) point.
+// configReport compares the engines at one (switches, ports, rate) point.
 type configReport struct {
-	Switches int                    `json:"switches"`
-	Ports    int                    `json:"ports"`
-	Rate     float64                `json:"rate"`
-	Engines  map[string]engineStats `json:"engines"`
-	Speedup  float64                `json:"speedup"` // event cycles/sec over scan
+	Switches        int                    `json:"switches"`
+	Ports           int                    `json:"ports"`
+	Rate            float64                `json:"rate"`
+	Engines         map[string]engineStats `json:"engines"`
+	Speedup         float64                `json:"speedup"`          // event cycles/sec over scan
+	SpeedupParallel float64                `json:"speedup_parallel"` // parallel cycles/sec over event
 }
 
 // report is the whole BENCH_wormsim.json document.
 type report struct {
 	Tool         string         `json:"tool"`
 	GoVersion    string         `json:"go_version"`
+	Cores        int            `json:"cores"` // GOMAXPROCS of the measuring host
 	PacketLength int            `json:"packet_length"`
 	WarmCycles   int            `json:"warm_cycles"`
 	TimedCycles  int            `json:"timed_cycles"`
@@ -66,17 +73,22 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("irperf: ")
 	var (
-		switches = flag.Int("switches", 128, "switch count per network")
-		portsArg = flag.String("ports", "4,8", "comma-separated port counts")
-		ratesArg = flag.String("rates", "0.02,0.05,0.1", "comma-separated injection rates")
-		plen     = flag.Int("plen", 128, "packet length in flits")
-		warm     = flag.Int("warm", 2000, "untimed warmup cycles per run")
-		cycles   = flag.Int("cycles", 20000, "timed cycles per run")
-		seed     = flag.Uint64("seed", 1, "network and traffic seed")
-		jsonPath = flag.String("json", "results/BENCH_wormsim.json", "output path")
+		switchesArg = flag.String("switches", "128,1024", "comma-separated switch counts per network")
+		portsArg    = flag.String("ports", "4,8", "comma-separated port counts")
+		ratesArg    = flag.String("rates", "0.02,0.05,0.1", "comma-separated injection rates")
+		plen        = flag.Int("plen", 128, "packet length in flits")
+		warm        = flag.Int("warm", 2000, "untimed warmup cycles per run")
+		cycles      = flag.Int("cycles", 20000, "timed cycles per run")
+		seed        = flag.Uint64("seed", 1, "network and traffic seed")
+		workers     = flag.Int("workers", 0, "parallel-engine worker pool (0 = GOMAXPROCS; never affects results)")
+		jsonPath    = flag.String("json", "results/BENCH_wormsim.json", "output path")
 	)
 	flag.Parse()
 
+	sizes, err := parseInts(*switchesArg)
+	if err != nil {
+		log.Fatalf("-switches: %v", err)
+	}
 	ports, err := parseInts(*portsArg)
 	if err != nil {
 		log.Fatalf("-ports: %v", err)
@@ -89,38 +101,44 @@ func main() {
 	rep := report{
 		Tool:         "irperf",
 		GoVersion:    runtime.Version(),
+		Cores:        runtime.GOMAXPROCS(0),
 		PacketLength: *plen,
 		WarmCycles:   *warm,
 		TimedCycles:  *cycles,
 		Seed:         *seed,
 	}
-	for _, p := range ports {
-		fn, tb, n := buildNet(*switches, p, *seed)
-		for _, rate := range rates {
-			cr := configReport{
-				Switches: n,
-				Ports:    p,
-				Rate:     rate,
-				Engines:  map[string]engineStats{},
-			}
-			for _, engine := range []irnet.SimEngine{irnet.EngineScan, irnet.EngineEvent} {
-				st, err := measure(fn, tb, irnet.SimConfig{
-					PacketLength:  *plen,
-					InjectionRate: rate,
-					WarmupCycles:  irnet.NoWarmup,
-					MeasureCycles: 1 << 30,
-					Seed:          *seed,
-					Engine:        engine,
-				}, *warm, *cycles)
-				if err != nil {
-					log.Fatalf("%dsw/%dport rate %v engine %v: %v", n, p, rate, engine, err)
+	for _, sw := range sizes {
+		for _, p := range ports {
+			fn, tb, n := buildNet(sw, p, *seed)
+			for _, rate := range rates {
+				cr := configReport{
+					Switches: n,
+					Ports:    p,
+					Rate:     rate,
+					Engines:  map[string]engineStats{},
 				}
-				cr.Engines[engine.String()] = st
+				for _, engine := range []irnet.SimEngine{irnet.EngineScan, irnet.EngineEvent, irnet.EngineParallel} {
+					st, err := measure(fn, tb, irnet.SimConfig{
+						PacketLength:  *plen,
+						InjectionRate: rate,
+						WarmupCycles:  irnet.NoWarmup,
+						MeasureCycles: 1 << 30,
+						Seed:          *seed,
+						Engine:        engine,
+						Workers:       *workers,
+					}, *warm, *cycles)
+					if err != nil {
+						log.Fatalf("%dsw/%dport rate %v engine %v: %v", n, p, rate, engine, err)
+					}
+					cr.Engines[engine.String()] = st
+				}
+				cr.Speedup = cr.Engines["event"].CyclesPerSec / cr.Engines["scan"].CyclesPerSec
+				cr.SpeedupParallel = cr.Engines["parallel"].CyclesPerSec / cr.Engines["event"].CyclesPerSec
+				rep.Configs = append(rep.Configs, cr)
+				fmt.Printf("%4dsw %dport rate %-5v  scan %10.0f cyc/s  event %10.0f cyc/s  parallel %10.0f cyc/s  event/scan %.2fx  parallel/event %.2fx\n",
+					n, p, rate, cr.Engines["scan"].CyclesPerSec, cr.Engines["event"].CyclesPerSec,
+					cr.Engines["parallel"].CyclesPerSec, cr.Speedup, cr.SpeedupParallel)
 			}
-			cr.Speedup = cr.Engines["event"].CyclesPerSec / cr.Engines["scan"].CyclesPerSec
-			rep.Configs = append(rep.Configs, cr)
-			fmt.Printf("%3dsw %dport rate %-5v  scan %10.0f cyc/s  event %10.0f cyc/s  speedup %.2fx\n",
-				n, p, rate, cr.Engines["scan"].CyclesPerSec, cr.Engines["event"].CyclesPerSec, cr.Speedup)
 		}
 	}
 

@@ -3,10 +3,11 @@ package fault
 // Differential test for the wormsim engines at the fault-runner level: a
 // full faulted run — schedule validation, mid-run kills, drain/drop/
 // immediate recovery, tree rebuilds, live rewires — must produce identical
-// Results whether the simulator underneath runs the scan engine or the
-// event-driven one. This complements the in-package matrix in
-// internal/wormsim by exercising the one mutation path only fault.Run
-// drives: Rewire with remapped channel ids between stage calls.
+// Results under every engine wormsim.Engines() lists. This complements the
+// in-package matrix in internal/wormsim by exercising the one mutation
+// path only fault.Run drives: Rewire with remapped channel ids between
+// stage calls. (The 16-switch graphs clamp the parallel engine to one
+// worker; what this covers is its plumbing through the runner.)
 
 import (
 	"bytes"
@@ -54,8 +55,9 @@ func TestFaultRunEnginesIdentical(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			var out [2]*Result
-			for i, engine := range []wormsim.Engine{wormsim.EngineScan, wormsim.EngineEvent} {
+			engines := wormsim.Engines()
+			out := make([]*Result, len(engines))
+			for i, engine := range engines {
 				opts := Options{
 					Algorithm: core.DownUp{},
 					Policy:    ctree.M1,
@@ -68,19 +70,22 @@ func TestFaultRunEnginesIdentical(t *testing.T) {
 				opts.Sim.Engine = engine
 				out[i] = runOnce(t, g, sched, opts)
 			}
-			if !reflect.DeepEqual(out[0], out[1]) {
-				t.Fatalf("faulted runs diverge:\nscan:  %+v\nevent: %+v", out[0], out[1])
-			}
 			sj, err := json.Marshal(out[0])
 			if err != nil {
 				t.Fatal(err)
 			}
-			ej, err := json.Marshal(out[1])
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !bytes.Equal(sj, ej) {
-				t.Fatalf("JSON encodings diverge:\nscan:  %s\nevent: %s", sj, ej)
+			for i, cur := range out[1:] {
+				name := engines[i+1].String()
+				if !reflect.DeepEqual(out[0], cur) {
+					t.Fatalf("faulted runs diverge:\n%s: %+v\n%s: %+v", engines[0], out[0], name, cur)
+				}
+				ej, err := json.Marshal(cur)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(sj, ej) {
+					t.Fatalf("JSON encodings diverge:\n%s: %s\n%s: %s", engines[0], sj, name, ej)
+				}
 			}
 		})
 	}

@@ -51,8 +51,8 @@ type CollectiveOptions struct {
 	Mode wormsim.Mode
 	// Engine selects the simulator cycle loop.
 	Engine wormsim.Engine
-	// CompareEngines re-runs every simulation on the scan engine and fails
-	// the study if any scenario's stats or counters diverge from the
+	// CompareEngines re-runs every simulation on every other engine and
+	// fails the study if any scenario's stats or counters diverge from the
 	// configured engine's — the study-level form of the byte-identity
 	// guarantee.
 	CompareEngines bool
@@ -303,14 +303,6 @@ func CollectiveStudy(opts CollectiveOptions) (*CollectiveResults, error) {
 			return out, err
 		}
 		if opts.CompareEngines {
-			other := wormsim.EngineScan
-			if opts.Engine == wormsim.EngineScan {
-				other = wormsim.EngineEvent
-			}
-			st2, res2, err := run(other)
-			if err != nil {
-				return out, fmt.Errorf("%v engine: %w", other, err)
-			}
 			a, err := json.Marshal(struct {
 				St  workload.Stats
 				Res *wormsim.Result
@@ -318,15 +310,24 @@ func CollectiveStudy(opts CollectiveOptions) (*CollectiveResults, error) {
 			if err != nil {
 				return out, err
 			}
-			b, err := json.Marshal(struct {
-				St  workload.Stats
-				Res *wormsim.Result
-			}{st2, res2})
-			if err != nil {
-				return out, err
-			}
-			if string(a) != string(b) {
-				return out, fmt.Errorf("engines diverge:\n%v: %s\n%v: %s", opts.Engine, a, other, b)
+			for _, other := range wormsim.Engines() {
+				if other == opts.Engine {
+					continue
+				}
+				st2, res2, err := run(other)
+				if err != nil {
+					return out, fmt.Errorf("%v engine: %w", other, err)
+				}
+				b, err := json.Marshal(struct {
+					St  workload.Stats
+					Res *wormsim.Result
+				}{st2, res2})
+				if err != nil {
+					return out, err
+				}
+				if string(a) != string(b) {
+					return out, fmt.Errorf("engines diverge:\n%v: %s\n%v: %s", opts.Engine, a, other, b)
+				}
 			}
 		}
 		accepted := float64(res.FlitsDelivered) / float64(st.Makespan) / float64(opts.Switches)

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/wormsim"
 )
 
 // resultsDigest strips the fields that legitimately differ between a fresh
@@ -95,6 +97,67 @@ func TestCheckpointResume(t *testing.T) {
 	}
 	if again.Resumed != records {
 		t.Fatalf("fully-recorded run resumed %d, want %d", again.Resumed, records)
+	}
+}
+
+// TestCheckpointResumesAcrossEngines pins that the fingerprint's deliberate
+// exclusion of Engine and Workers is sound end to end: a checkpoint written
+// under one engine resumes under every other, and the aggregates stay
+// identical to an uninterrupted run — which only holds because the engines
+// are byte-identical.
+func TestCheckpointResumesAcrossEngines(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "sweep.jsonl")
+	base := tinyOptions()
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	written := base
+	written.Engine = wormsim.EngineEvent
+	written.Checkpoint = ckpt
+	if _, err := Run(written); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drop the back half of the records, as if the sweep was interrupted.
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	records := len(lines) - 1
+	kept := lines[:1+records/2]
+	if err := os.WriteFile(ckpt, []byte(strings.Join(kept, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name    string
+		engine  wormsim.Engine
+		workers int
+	}{
+		{name: "scan", engine: wormsim.EngineScan},
+		{name: "parallel", engine: wormsim.EngineParallel, workers: 2},
+	} {
+		resumed := base
+		resumed.Engine = tc.engine
+		resumed.Workers = tc.workers
+		resumed.Checkpoint = ckpt
+		res, err := Run(resumed)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.Resumed != records/2 {
+			t.Fatalf("%s: resumed %d simulations, want %d", tc.name, res.Resumed, records/2)
+		}
+		if resultsDigest(t, res) != resultsDigest(t, plain) {
+			t.Fatalf("%s: cross-engine resume diverges from uninterrupted run", tc.name)
+		}
+		// Restore the half-written state for the next engine.
+		if err := os.WriteFile(ckpt, []byte(strings.Join(kept, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

@@ -3,6 +3,9 @@ package routing
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/rng"
 )
@@ -32,8 +35,17 @@ type Table struct {
 
 const unreachable = int32(math.MaxInt32)
 
-// NewTable computes the table with one backward BFS per destination.
+// NewTable computes the table with one backward BFS per destination,
+// fanning destinations across GOMAXPROCS goroutines. Each destination's
+// row of dist is computed in isolation, so the result is identical for
+// any goroutine count (pinned by TestNewTableParallelIdentical).
 func NewTable(f *Function) *Table {
+	return newTableN(f, runtime.GOMAXPROCS(0))
+}
+
+// newTableN is NewTable with an explicit worker count, kept internal so
+// tests can compare the single-goroutine and many-goroutine results.
+func newTableN(f *Function, workers int) *Table {
 	cg := f.Sys.CG
 	t := &Table{
 		f:      f,
@@ -42,40 +54,75 @@ func NewTable(f *Function) *Table {
 		stride: cg.NumChannels() + cg.N(),
 	}
 	t.dist = make([]int32, t.n*t.stride)
-	queue := make([]int32, 0, t.stride)
-	for dst := 0; dst < t.n; dst++ {
-		d := t.dist[dst*t.stride : (dst+1)*t.stride]
-		for i := range d {
-			d[i] = unreachable
+	if workers > t.n {
+		workers = t.n
+	}
+	if workers <= 1 {
+		queue := make([]int32, 0, t.stride)
+		for dst := 0; dst < t.n; dst++ {
+			queue = t.bfsTo(dst, queue)
 		}
-		queue = queue[:0]
-		// Base cases: arriving at dst via any of its in-channels takes zero
-		// further hops; a packet born at dst is already there.
-		d[t.numCh+dst] = 0
-		for _, c := range cg.In[dst] {
-			d[c] = 0
-			queue = append(queue, int32(c))
-		}
-		// Backward BFS over reversed state-graph edges. Predecessors of a
-		// channel state c are (a) the injection state of c.From and (b) any
-		// in-channel of c.From whose turn onto c is allowed. Injection
-		// states have no predecessors.
-		for head := 0; head < len(queue); head++ {
-			c := int(queue[head])
-			nd := d[c] + 1
-			from := cg.Channels[c].From
-			if inj := t.numCh + from; d[inj] > nd {
-				d[inj] = nd
-			}
-			for _, p := range cg.In[from] {
-				if d[p] > nd && f.Sys.TurnAllowed(p, c) {
-					d[p] = nd
-					queue = append(queue, int32(p))
+		return t
+	}
+	// Destinations are handed out through an atomic counter rather than
+	// fixed ranges: BFS cost varies with how central a destination is, and
+	// work stealing keeps the goroutines evenly loaded.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			queue := make([]int32, 0, t.stride)
+			for {
+				dst := int(next.Add(1)) - 1
+				if dst >= t.n {
+					return
 				}
+				queue = t.bfsTo(dst, queue)
+			}
+		}()
+	}
+	wg.Wait()
+	return t
+}
+
+// bfsTo fills destination dst's row of dist with a backward BFS, reusing
+// queue as scratch (returned for the next call). It touches only that row,
+// which is what makes per-destination parallelism safe.
+func (t *Table) bfsTo(dst int, queue []int32) []int32 {
+	cg := t.f.Sys.CG
+	d := t.dist[dst*t.stride : (dst+1)*t.stride]
+	for i := range d {
+		d[i] = unreachable
+	}
+	queue = queue[:0]
+	// Base cases: arriving at dst via any of its in-channels takes zero
+	// further hops; a packet born at dst is already there.
+	d[t.numCh+dst] = 0
+	for _, c := range cg.In[dst] {
+		d[c] = 0
+		queue = append(queue, int32(c))
+	}
+	// Backward BFS over reversed state-graph edges. Predecessors of a
+	// channel state c are (a) the injection state of c.From and (b) any
+	// in-channel of c.From whose turn onto c is allowed. Injection
+	// states have no predecessors.
+	for head := 0; head < len(queue); head++ {
+		c := int(queue[head])
+		nd := d[c] + 1
+		from := cg.Channels[c].From
+		if inj := t.numCh + from; d[inj] > nd {
+			d[inj] = nd
+		}
+		for _, p := range cg.In[from] {
+			if d[p] > nd && t.f.Sys.TurnAllowed(p, c) {
+				d[p] = nd
+				queue = append(queue, int32(p))
 			}
 		}
 	}
-	return t
+	return queue
 }
 
 // PathSource is what a packet-level consumer (the simulator) needs from a

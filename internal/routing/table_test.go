@@ -1,6 +1,7 @@
 package routing
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -32,6 +33,26 @@ func TestDistanceLineUpDown(t *testing.T) {
 			}
 			if got := tb.Distance(s, d); got != want {
 				t.Fatalf("Distance(%d,%d) = %d, want %d", s, d, got, want)
+			}
+		}
+	}
+}
+
+// TestNewTableParallelIdentical pins that the goroutine count NewTable
+// fans destinations across never changes the table: every row is computed
+// in isolation, so one worker and many must produce identical dist arrays.
+func TestNewTableParallelIdentical(t *testing.T) {
+	cg := randomCG(t, 7, 60, 4)
+	for _, alg := range []Algorithm{UpDown{}, LTurn{}} {
+		f, err := alg.Build(cg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := newTableN(f, 1)
+		for _, workers := range []int{2, 8, 128} {
+			par := newTableN(f, workers)
+			if !reflect.DeepEqual(seq.dist, par.dist) {
+				t.Fatalf("%s: table with %d workers differs from sequential", f.AlgorithmName, workers)
 			}
 		}
 	}

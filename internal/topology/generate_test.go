@@ -37,6 +37,35 @@ func TestRandomIrregularPaperConfigs(t *testing.T) {
 	}
 }
 
+// TestRandomIrregularScale pins that generation stays sound and fast at
+// the fabric sizes the parallel simulator engine targets — an order of
+// magnitude beyond the paper's 128 switches. 4096 switches is skipped in
+// short mode.
+func TestRandomIrregularScale(t *testing.T) {
+	sizes := []int{1024, 4096}
+	if testing.Short() {
+		sizes = sizes[:1]
+	}
+	for _, n := range sizes {
+		g, err := RandomIrregular(IrregularConfig{Switches: n, Ports: 4, Fill: 1}, rng.New(9))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if g.N() != n {
+			t.Fatalf("n=%d: N=%d", n, g.N())
+		}
+		if g.MaxDegree() > 4 {
+			t.Fatalf("n=%d: max degree %d exceeds budget", n, g.MaxDegree())
+		}
+		if !g.Connected() {
+			t.Fatalf("n=%d: disconnected", n)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
 func TestRandomIrregularDeterministic(t *testing.T) {
 	cfg := DefaultIrregular(4)
 	a, err := RandomIrregular(cfg, rng.New(77))

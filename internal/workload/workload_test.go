@@ -257,10 +257,11 @@ func TestRunBudgetError(t *testing.T) {
 
 // TestRunEnginesByteIdentical extends the wormsim differential guarantee to
 // the real DAG scheduler: every collective must produce byte-identical
-// stats and simulator counters under EngineScan and EngineEvent, across
-// source-routed and adaptive modes.
+// stats and simulator counters under every engine wormsim.Engines() lists,
+// across source-routed and adaptive modes.
 func TestRunEnginesByteIdentical(t *testing.T) {
 	fn, tb := buildNet(t, 13, 24, 4)
+	engines := wormsim.Engines()
 	for _, mode := range []wormsim.Mode{wormsim.SourceRouted, wormsim.Adaptive} {
 		for _, name := range Names() {
 			t.Run(name+"/"+mode.String(), func(t *testing.T) {
@@ -268,8 +269,8 @@ func TestRunEnginesByteIdentical(t *testing.T) {
 					St  Stats
 					Res *wormsim.Result
 				}
-				var outs [2]out
-				for i, engine := range []wormsim.Engine{wormsim.EngineScan, wormsim.EngineEvent} {
+				outs := make([]out, len(engines))
+				for i, engine := range engines {
 					d, err := ByName(name, 24, 2)
 					if err != nil {
 						t.Fatal(err)
@@ -289,12 +290,14 @@ func TestRunEnginesByteIdentical(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				ej, err := json.Marshal(outs[1])
-				if err != nil {
-					t.Fatal(err)
-				}
-				if string(sj) != string(ej) {
-					t.Fatalf("engines diverge:\nscan:  %s\nevent: %s", sj, ej)
+				for i, o := range outs[1:] {
+					ej, err := json.Marshal(o)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if string(sj) != string(ej) {
+						t.Fatalf("engines diverge:\n%s: %s\n%s: %s", engines[0], sj, engines[i+1], ej)
+					}
 				}
 			})
 		}

@@ -172,10 +172,10 @@ func (fakePattern) Name() string { return "fake" }
 func (fakePattern) Dest(src int, _ *rng.Rng) int { return (src + 1) % 2 }
 
 // TestClosedLoopCompletesAndNotifies runs the chain workload to completion
-// on both engines and checks every delivery was reported back.
+// on every engine and checks every delivery was reported back.
 func TestClosedLoopCompletesAndNotifies(t *testing.T) {
 	const msgs, pkts = 30, 2
-	for _, engine := range []Engine{EngineScan, EngineEvent} {
+	for _, engine := range Engines() {
 		cl := newChainLoop(16, msgs, pkts)
 		f, tb := randomFn(t, 32, 16, 4, core.DownUp{})
 		sim, err := New(f, tb, Config{

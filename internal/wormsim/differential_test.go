@@ -73,6 +73,14 @@ func TestEnginesByteIdentical(t *testing.T) {
 			return randomFn(t, seed, 32, ports, alg)
 		}
 	}
+	// bigNet crosses the parallel engine's one-worker-per-64-switches clamp,
+	// so its scenarios exercise real multi-worker execution (the 32-switch
+	// matrix clamps to a single worker).
+	bigNet := func(seed uint64, ports int, alg routing.Algorithm) func(t *testing.T) (*routing.Function, *routing.Table) {
+		return func(t *testing.T) (*routing.Function, *routing.Table) {
+			return randomFn(t, seed, 256, ports, alg)
+		}
+	}
 	recoverRing := recoveringRingConfig()
 
 	scenarios := []struct {
@@ -146,10 +154,21 @@ func TestEnginesByteIdentical(t *testing.T) {
 			c.DetectInterval = 128
 			c.Seed = 1
 		}), wantErr: true},
+		{name: "parallel/256sw", build: bigNet(21, 4, core.DownUp{}), cfg: at(func(c *Config) {
+			c.InjectionRate = 0.3
+			c.MeasureCycles = 2000
+			c.Workers = 4
+		})},
+		{name: "parallel/256sw-adaptive-first", build: bigNet(22, 4, core.DownUp{}), cfg: at(func(c *Config) {
+			c.Mode = Adaptive
+			c.Select = SelectFirst
+			c.MeasureCycles = 2000
+			c.Workers = 4
+		})},
 	}
 
-	if len(scenarios) < 24 {
-		t.Fatalf("differential matrix shrank to %d scenarios; keep it at >= 24", len(scenarios))
+	if len(scenarios) < 26 {
+		t.Fatalf("differential matrix shrank to %d scenarios; keep it at >= 26", len(scenarios))
 	}
 	for _, sc := range scenarios {
 		t.Run(sc.name, func(t *testing.T) {
@@ -162,8 +181,9 @@ func TestEnginesByteIdentical(t *testing.T) {
 				err   error
 				trace bytes.Buffer
 			}
-			var out [2]outcome
-			for i, engine := range []Engine{EngineScan, EngineEvent} {
+			engines := Engines()
+			out := make([]outcome, len(engines))
+			for i, engine := range engines {
 				fn, tb := sc.build(t)
 				cfg := sc.cfg
 				cfg.Engine = engine
@@ -177,49 +197,52 @@ func TestEnginesByteIdentical(t *testing.T) {
 				}
 				out[i].res, out[i].err = drive(sim)
 			}
-			scan, event := out[0], out[1]
-			if (scan.err != nil) != (event.err != nil) {
-				t.Fatalf("error mismatch: scan=%v event=%v", scan.err, event.err)
-			}
+			scan := out[0]
 			if sc.wantErr && scan.err == nil {
-				t.Fatal("scenario expected to fail but both engines succeeded")
+				t.Fatal("scenario expected to fail but the scan engine succeeded")
 			}
 			if !sc.wantErr && scan.err != nil {
 				t.Fatalf("scenario expected to succeed but failed: %v", scan.err)
 			}
-			if scan.err != nil && scan.err.Error() != event.err.Error() {
-				t.Fatalf("error strings diverge:\nscan:  %v\nevent: %v", scan.err, event.err)
-			}
-			var de *DeadlockError
-			var le *LivelockError
-			if errors.As(scan.err, &de) {
-				var de2 *DeadlockError
-				if !errors.As(event.err, &de2) || !reflect.DeepEqual(de.Info, de2.Info) {
-					t.Fatalf("deadlock diagnostics diverge:\nscan:  %+v\nevent: %+v", de.Info, de2)
+			for i, cur := range out[1:] {
+				name := engines[i+1].String()
+				if (scan.err != nil) != (cur.err != nil) {
+					t.Fatalf("error mismatch: scan=%v %s=%v", scan.err, name, cur.err)
 				}
-			}
-			if errors.As(scan.err, &le) {
-				var le2 *LivelockError
-				if !errors.As(event.err, &le2) || !reflect.DeepEqual(le.Info, le2.Info) {
-					t.Fatalf("livelock diagnostics diverge:\nscan:  %+v\nevent: %+v", le.Info, le2)
+				if scan.err != nil && scan.err.Error() != cur.err.Error() {
+					t.Fatalf("error strings diverge:\nscan: %v\n%s: %v", scan.err, name, cur.err)
 				}
-			}
-			if !reflect.DeepEqual(scan.res, event.res) {
-				t.Fatalf("results diverge:\nscan:  %+v\nevent: %+v", scan.res, event.res)
-			}
-			sj, err := json.Marshal(scan.res)
-			if err != nil {
-				t.Fatal(err)
-			}
-			ej, err := json.Marshal(event.res)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !bytes.Equal(sj, ej) {
-				t.Fatalf("JSON encodings diverge:\nscan:  %s\nevent: %s", sj, ej)
-			}
-			if !bytes.Equal(scan.trace.Bytes(), event.trace.Bytes()) {
-				t.Fatalf("packet traces diverge (%d vs %d bytes)", scan.trace.Len(), event.trace.Len())
+				var de *DeadlockError
+				var le *LivelockError
+				if errors.As(scan.err, &de) {
+					var de2 *DeadlockError
+					if !errors.As(cur.err, &de2) || !reflect.DeepEqual(de.Info, de2.Info) {
+						t.Fatalf("deadlock diagnostics diverge:\nscan: %+v\n%s: %+v", de.Info, name, de2)
+					}
+				}
+				if errors.As(scan.err, &le) {
+					var le2 *LivelockError
+					if !errors.As(cur.err, &le2) || !reflect.DeepEqual(le.Info, le2.Info) {
+						t.Fatalf("livelock diagnostics diverge:\nscan: %+v\n%s: %+v", le.Info, name, le2)
+					}
+				}
+				if !reflect.DeepEqual(scan.res, cur.res) {
+					t.Fatalf("results diverge:\nscan: %+v\n%s: %+v", scan.res, name, cur.res)
+				}
+				sj, err := json.Marshal(scan.res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cj, err := json.Marshal(cur.res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(sj, cj) {
+					t.Fatalf("JSON encodings diverge:\nscan: %s\n%s: %s", sj, name, cj)
+				}
+				if !bytes.Equal(scan.trace.Bytes(), cur.trace.Bytes()) {
+					t.Fatalf("packet traces diverge vs %s (%d vs %d bytes)", name, scan.trace.Len(), cur.trace.Len())
+				}
 			}
 			if scan.err == nil {
 				// Conservation holds only for completed runs; aborted runs
@@ -239,12 +262,18 @@ func TestEngineDefaultIsEvent(t *testing.T) {
 	if (Config{}).withDefaults().Engine != EngineEvent {
 		t.Fatal("zero Config no longer defaults to EngineEvent")
 	}
-	if EngineEvent.String() != "event" || EngineScan.String() != "scan" {
-		t.Fatalf("engine names changed: %v, %v", EngineEvent, EngineScan)
+	if EngineEvent.String() != "event" || EngineScan.String() != "scan" || EngineParallel.String() != "parallel" {
+		t.Fatalf("engine names changed: %v, %v, %v", EngineEvent, EngineScan, EngineParallel)
+	}
+	if got := Engines(); len(got) != 3 || got[0] != EngineScan {
+		t.Fatalf("Engines() = %v; want all three engines, scan baseline first", got)
 	}
 	f, tb := randomFn(t, 1, 8, 4, core.DownUp{})
 	if _, err := New(f, tb, Config{Engine: Engine(7)}); err == nil {
 		t.Fatal("Engine(7) accepted")
+	}
+	if _, err := New(f, tb, Config{Workers: -1}); err == nil {
+		t.Fatal("negative Workers accepted")
 	}
 	sim, err := New(f, tb, Config{Engine: EngineScan, MeasureCycles: 100, WarmupCycles: NoWarmup})
 	if err != nil {

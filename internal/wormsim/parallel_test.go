@@ -1,0 +1,256 @@
+package wormsim
+
+// Parallel-engine determinism tests beyond the differential matrix: the
+// worker-count invariance property (results are byte-identical for 1, 2,
+// 4, and 8 workers, and identical to the event engine), the partition and
+// wavefront-schedule invariants the engine's correctness argument rests
+// on, and a race-detector workout that runs multi-worker cycles under
+// every stage combination (the CI parallel-smoke job runs this file with
+// -race).
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestParallelWorkerCountInvariance runs one 512-switch configuration under
+// the event engine and under the parallel engine with 1, 2, 4, and 8
+// workers (512 switches = 8 bitmask words, so all four counts are
+// genuinely distinct partitions) and requires byte-identical results.
+func TestParallelWorkerCountInvariance(t *testing.T) {
+	cycles := 3000
+	if testing.Short() {
+		cycles = 600
+	}
+	cfg := Config{
+		PacketLength:  16,
+		InjectionRate: 0.25,
+		WarmupCycles:  NoWarmup,
+		MeasureCycles: cycles,
+		Seed:          11,
+	}
+	run := func(engine Engine, workers int) ([]byte, *Result) {
+		fn, tb := randomFn(t, 31, 512, 4, core.DownUp{})
+		c := cfg
+		c.Engine = engine
+		c.Workers = workers
+		sim, err := New(fn, tb, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if engine == EngineParallel && workers > 1 && sim.Workers() != workers {
+			t.Fatalf("Workers()=%d, want %d (512 switches should not clamp it)", sim.Workers(), workers)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j, res
+	}
+	refJSON, refRes := run(EngineEvent, 0)
+	for _, workers := range []int{1, 2, 4, 8} {
+		j, res := run(EngineParallel, workers)
+		if !reflect.DeepEqual(refRes, res) {
+			t.Fatalf("workers=%d: results diverge from event engine:\nevent:    %+v\nparallel: %+v", workers, refRes, res)
+		}
+		if !bytes.Equal(refJSON, j) {
+			t.Fatalf("workers=%d: JSON encodings diverge:\nevent:    %s\nparallel: %s", workers, refJSON, j)
+		}
+	}
+}
+
+// TestParallelSchedule checks the invariants the engine's determinism
+// argument rests on: worker ranges are 64-aligned, contiguous, and cover
+// all switches; adjacent switches never share a wavefront level; and the
+// level of every switch is one more than its highest lower-indexed
+// neighbor (the earliest phase that preserves sequential credit
+// visibility).
+func TestParallelSchedule(t *testing.T) {
+	fn, tb := randomFn(t, 5, 256, 4, core.DownUp{})
+	sim, err := New(fn, tb, Config{Engine: EngineParallel, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := sim.par
+	if par.workers != 3 {
+		t.Fatalf("workers=%d, want 3", par.workers)
+	}
+	next := 0
+	for k := 0; k < par.workers; k++ {
+		if par.lo[k] != next {
+			t.Fatalf("worker %d range starts at %d, want %d (contiguous)", k, par.lo[k], next)
+		}
+		if par.lo[k]%64 != 0 {
+			t.Fatalf("worker %d range start %d not 64-aligned", k, par.lo[k])
+		}
+		if par.hi[k] < par.lo[k] {
+			t.Fatalf("worker %d range [%d,%d) inverted", k, par.lo[k], par.hi[k])
+		}
+		next = par.hi[k]
+	}
+	if next != sim.n {
+		t.Fatalf("ranges cover %d switches, want %d", next, sim.n)
+	}
+	cg := sim.cg
+	for v := 0; v < sim.n; v++ {
+		want := int32(0)
+		for _, c := range cg.In[v] {
+			u := cg.Channels[c].From
+			if par.level[u] == par.level[v] {
+				t.Fatalf("adjacent switches %d and %d share level %d", u, v, par.level[v])
+			}
+			if u < v && par.level[u]+1 > want {
+				want = par.level[u] + 1
+			}
+		}
+		if par.level[v] != want {
+			t.Fatalf("level[%d]=%d, want %d", v, par.level[v], want)
+		}
+	}
+	if par.nLevels < 2 || par.nLevels > sim.n {
+		t.Fatalf("suspicious level count %d for %d switches", par.nLevels, sim.n)
+	}
+	sim.Finish()
+}
+
+// TestParallelWorkerClamp pins the degrade-gracefully behavior: small
+// networks clamp to one worker (no pool goroutines), and Workers=0 means
+// GOMAXPROCS, capped the same way.
+func TestParallelWorkerClamp(t *testing.T) {
+	fn, tb := randomFn(t, 1, 32, 4, core.DownUp{})
+	sim, err := New(fn, tb, Config{Engine: EngineParallel, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Workers() != 1 {
+		t.Fatalf("32 switches with Workers=8 gave %d workers, want 1 (one per 64 switches)", sim.Workers())
+	}
+	if sim.par.work != nil {
+		t.Fatal("single-worker parallel engine spawned a pool")
+	}
+	if err := sim.RunCycles(200); err != nil {
+		t.Fatal(err)
+	}
+	sim.Finish()
+
+	fn2, tb2 := randomFn(t, 2, 8, 4, core.DownUp{})
+	seq, err := New(fn2, tb2, Config{Engine: EngineEvent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Workers() != 1 {
+		t.Fatalf("sequential engine reports %d workers", seq.Workers())
+	}
+}
+
+// TestParallelRace drives multi-worker cycles through every parallel phase
+// combination — open-loop source-routed, adaptive with a deterministic
+// selection (the parallel crossbar path), fault injection with recovery
+// scans between cycles — so `go test -race` patrols the engine's
+// synchronization. Kept short-mode friendly: the CI race job runs -short.
+func TestParallelRace(t *testing.T) {
+	cycles := 1200
+	if testing.Short() {
+		cycles = 400
+	}
+	for _, tc := range []struct {
+		name string
+		mut  func(c *Config)
+	}{
+		{name: "source-routed", mut: func(c *Config) {}},
+		{name: "adaptive-first", mut: func(c *Config) { c.Mode = Adaptive; c.Select = SelectFirst }},
+		{name: "least-loaded-2vc", mut: func(c *Config) { c.Mode = Adaptive; c.Select = SelectLeastLoaded; c.VirtualChannels = 2 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fn, tb := randomFn(t, 17, 256, 4, core.DownUp{})
+			cfg := Config{
+				PacketLength:  16,
+				InjectionRate: 0.3,
+				WarmupCycles:  NoWarmup,
+				MeasureCycles: cycles,
+				Seed:          3,
+				Engine:        EngineParallel,
+				Workers:       4,
+			}
+			tc.mut(&cfg)
+			sim, err := New(fn, tb, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sim.RunCycles(cycles / 2); err != nil {
+				t.Fatal(err)
+			}
+			sim.KillChannel(0)
+			sim.DropInFlight()
+			if err := sim.RunCycles(cycles / 2); err != nil {
+				t.Fatal(err)
+			}
+			res := sim.Finish()
+			if err := res.CheckConservation(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestParallelPanicPropagates ensures a panic raised on a pool worker
+// mid-cycle reaches the RunCycles caller on its own goroutine (the
+// harness's panic guard depends on this), and that the simulator refuses
+// further use afterwards.
+func TestParallelPanicPropagates(t *testing.T) {
+	fn, tb := randomFn(t, 9, 256, 4, core.DownUp{})
+	sim, err := New(fn, tb, Config{
+		PacketLength:  8,
+		InjectionRate: 0.2,
+		WarmupCycles:  NoWarmup,
+		MeasureCycles: 1000,
+		Engine:        EngineParallel,
+		Workers:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunCycles(50); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt credit accounting so a worker's linkWire hits its invariant
+	// panic: mark a buffered lane's wire full again with a stale flit.
+	sim.par.broken.Store(false)
+	for w := 0; w < sim.nCh; w++ {
+		if !sim.wireFull[w] {
+			sim.wireFull[w] = true
+			sim.wire[w] = flit{pkt: 0, idx: 1, arrived: sim.now - 1}
+			sim.wireVCL[w] = int32(w * sim.nVC)
+			for sim.bufs[w*sim.nVC].size < len(sim.bufs[w*sim.nVC].buf) {
+				sim.bufs[w*sim.nVC].push(flit{pkt: 0, idx: 0, arrived: sim.now - 1})
+			}
+			sim.wk[0].noteFill(w)
+			break
+		}
+	}
+	recovered := func() (r any) {
+		defer func() { r = recover() }()
+		_ = sim.RunCycles(2)
+		return nil
+	}()
+	if recovered == nil {
+		t.Fatal("corrupted credit state did not panic through RunCycles")
+	}
+	// The sim is terminal: the next cycle re-raises the stored panic.
+	second := func() (r any) {
+		defer func() { r = recover() }()
+		_ = sim.RunCycles(1)
+		return nil
+	}()
+	if second == nil {
+		t.Fatal("broken simulator accepted further cycles")
+	}
+}

@@ -64,17 +64,34 @@ const (
 	// baseline the event engine is differentially tested (and benchmarked)
 	// against.
 	EngineScan
+	// EngineParallel is the multi-core engine: switches are partitioned
+	// across a fixed worker pool in contiguous 64-aligned index ranges, each
+	// cycle's stages run as a sequence of barrier-separated phases on the
+	// same double-buffered wire state the event engine uses, and a static
+	// wavefront schedule orders adjacent switches exactly as the sequential
+	// engines do. Results are byte-identical to EngineEvent for every seed
+	// and independent of the worker count; see parallel.go and DESIGN.md
+	// S26.
+	EngineParallel
 )
 
-// String names the engine: "event" or "scan".
+// String names the engine: "event", "scan", or "parallel".
 func (e Engine) String() string {
 	switch e {
 	case EngineScan:
 		return "scan"
+	case EngineParallel:
+		return "parallel"
 	default:
 		return "event"
 	}
 }
+
+// Engines returns every cycle-evaluation engine, scan baseline first — the
+// order the differential suites compare them in. Byte-identity tests range
+// over this list so a newly added engine is picked up by every suite
+// automatically instead of being hand-listed per test.
+func Engines() []Engine { return []Engine{EngineScan, EngineEvent, EngineParallel} }
 
 // Mode selects how packets pick among legal shortest paths.
 type Mode int
@@ -191,9 +208,16 @@ type Config struct {
 	// packet; leave nil for performance runs.
 	Trace io.Writer
 	// Engine selects the cycle-evaluation strategy: EngineEvent (default,
-	// the O(active) fast path) or EngineScan (the original full-scan
-	// baseline). The two are byte-identical in results; see Engine.
+	// the O(active) fast path), EngineScan (the original full-scan
+	// baseline), or EngineParallel (the multi-core engine). All engines are
+	// byte-identical in results; see Engine.
 	Engine Engine
+	// Workers is the EngineParallel worker-pool size; 0 means GOMAXPROCS.
+	// The effective count is capped at one worker per 64 switches (the
+	// partition granularity), so small networks degrade gracefully to a
+	// single worker. Results never depend on Workers. Ignored by the other
+	// engines.
+	Workers int
 }
 
 // ClosedLoop is a closed-loop packet source: instead of the open-loop
@@ -341,8 +365,11 @@ func (c Config) validate(n int) error {
 	if c.LivelockThreshold < NoLivelockCheck {
 		return fmt.Errorf("wormsim: LivelockThreshold %d < %d", c.LivelockThreshold, NoLivelockCheck)
 	}
-	if c.Engine != EngineEvent && c.Engine != EngineScan {
+	if c.Engine != EngineEvent && c.Engine != EngineScan && c.Engine != EngineParallel {
 		return fmt.Errorf("wormsim: unknown Engine %d", c.Engine)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("wormsim: negative Workers %d", c.Workers)
 	}
 	if c.Workload != nil && (c.InjectionRate != 0 || c.Pattern != nil || c.MeanBurst != 0) {
 		return fmt.Errorf("wormsim: Workload is a closed-loop source; InjectionRate, Pattern, and MeanBurst must stay unset")
@@ -509,6 +536,63 @@ const (
 	noTag   = int64(-1)
 )
 
+// wctx is the per-worker context every stage body writes through instead of
+// shared Simulator fields: scratch buffers, the filled-wire worklists of the
+// current cycle, and the deltas of the three cycle-global scalars (progress,
+// in-flight count, injected count). The sequential engines run everything
+// through wk[0]; the parallel engine gives each worker its own, which keeps
+// the shared stage code single-writer, and mergeWorkers folds the deltas
+// back in deterministic worker order after every cycle.
+type wctx struct {
+	moved    bool  // some flit moved this cycle (folds into Simulator.lastMove)
+	inFlight int   // net change to the in-flight flit count this cycle
+	injected int64 // flits placed on injection wires this cycle
+
+	// fillEject/fillOther collect the wires filled during the current cycle
+	// (ejection wires separately: their consumption order is the delivery
+	// order, which must be ascending by node). Unused under EngineScan.
+	fillEject []int32
+	fillOther []int32
+
+	// candBuf/freeBuf are routing scratch (adaptive candidate channels and
+	// their free lanes); ord is the event-engine per-switch round-robin
+	// scratch.
+	candBuf []int
+	freeBuf []int32
+	ord     []int32
+
+	// spawns stages the packets sampled by the parallel generate phase;
+	// the coordinator commits them in worker order (== ascending source
+	// node order) so packet ids match the sequential engines.
+	spawns []spawnRec
+
+	events bool // engine keeps worklists (event/parallel): noteFill is live
+	ejBase int  // first ejection wire index (nCh + n)
+}
+
+// spawnRec is one staged packet: source, destination, and the sampled route
+// (nil in adaptive mode); ok=false marks an unroutable destination, counted
+// at commit time.
+type spawnRec struct {
+	v, dst int32
+	ok     bool
+	route  []int32
+}
+
+// noteFill records that wire w was filled this cycle, scheduling its
+// consumption (delivery for ejection wires, link traversal otherwise) for
+// next cycle. A no-op under EngineScan, which rescans everything anyway.
+func (wx *wctx) noteFill(w int) {
+	if !wx.events {
+		return
+	}
+	if w >= wx.ejBase {
+		wx.fillEject = append(wx.fillEject, int32(w))
+	} else {
+		wx.fillOther = append(wx.fillOther, int32(w))
+	}
+}
+
 // Simulator runs wormhole simulations for one routing function. Create one
 // with New and call Run; a Simulator is single-use.
 //
@@ -542,8 +626,6 @@ type Simulator struct {
 	sources   []traffic.Generator
 	pathRng   []*rng.Rng
 	arbRng    *rng.Rng
-	candBuf   []int
-	freeBuf   []int32
 	latencies []int32 // per delivered packet in the window
 	now       int32
 	lastMove  int32
@@ -560,11 +642,23 @@ type Simulator struct {
 
 	retrying []int32 // ids of packets aborted at least once and not yet done
 
-	// ev holds the event-driven engine's scheduling state (active-lane
-	// bitmasks and filled-wire worklists); nil under EngineScan. Every
-	// mutation site that can wake a lane, wire, or source feeds it, so both
-	// engines share one implementation of the physics.
+	// wk holds the per-worker mutable contexts the stage bodies write
+	// through: filled-wire lists, routing scratch, and the cycle's progress
+	// and counter deltas (merged by mergeWorkers). The sequential engines
+	// use wk[0] only; EngineParallel sizes it to its worker count so every
+	// stage body stays single-writer without locks.
+	wk []wctx
+
+	// ev holds the event-driven scheduling state (active-lane bitmasks and
+	// filled-wire worklists); nil under EngineScan, shared by EngineEvent
+	// and EngineParallel. Every mutation site that can wake a lane, wire,
+	// or source feeds it, so all engines share one implementation of the
+	// physics.
 	ev *evState
+
+	// par holds the parallel engine's partition, wavefront schedule, and
+	// worker pool; nil except under EngineParallel.
+	par *parState
 
 	// TraceMove, if non-nil, is called whenever a flit is placed on a wire
 	// (switch output, injection, or ejection crossing), with the target
@@ -671,8 +765,18 @@ func New(fn *routing.Function, tb routing.PathSource, cfg Config) (*Simulator, e
 	s.deadWire = make([]bool, s.wires)
 	s.deadNode = make([]bool, n)
 	s.res.ChannelFlits = make([]int64, nCh)
-	if cfg.Engine == EngineEvent {
+	if cfg.Engine != EngineScan {
 		s.ev = newEvState(s)
+	}
+	workers := 1
+	if cfg.Engine == EngineParallel {
+		s.par = newParState(s, cfg.Workers)
+		workers = s.par.workers
+	}
+	s.wk = make([]wctx, workers)
+	for i := range s.wk {
+		s.wk[i].events = cfg.Engine != EngineScan
+		s.wk[i].ejBase = nCh + n
 	}
 	return s, nil
 }
@@ -744,7 +848,9 @@ func (s *Simulator) RunCycles(k int) error {
 		s.cycle++
 		s.now++
 		s.measuring = s.cycle > s.cfg.WarmupCycles && s.cycle <= measureEnd
-		if s.ev != nil {
+		if s.par != nil {
+			s.stepParallel()
+		} else if s.ev != nil {
 			s.stepEvent()
 		} else {
 			s.deliver()
@@ -753,6 +859,7 @@ func (s *Simulator) RunCycles(k int) error {
 			s.feedInjection()
 			s.generate()
 		}
+		s.mergeWorkers()
 		if scanning && s.cycle%s.cfg.DetectInterval == 0 {
 			if err := s.recoveryScan(); err != nil {
 				return err
@@ -767,11 +874,31 @@ func (s *Simulator) RunCycles(k int) error {
 	return nil
 }
 
+// mergeWorkers folds the per-worker cycle deltas back into the shared
+// scalars, in ascending worker order. It runs between cycles on the caller
+// goroutine, before the recovery scan and the deadlock watchdog read
+// lastMove and inFlight — the same point the sequential engines had
+// finished updating them at.
+func (s *Simulator) mergeWorkers() {
+	for i := range s.wk {
+		wx := &s.wk[i]
+		if wx.moved {
+			s.lastMove = s.now
+			wx.moved = false
+		}
+		s.inFlight += wx.inFlight
+		wx.inFlight = 0
+		s.res.FlitsInjected += wx.injected
+		wx.injected = 0
+	}
+}
+
 // Finish computes the derived metrics and returns the final Result. It is
 // idempotent; Run calls it automatically.
 func (s *Simulator) Finish() *Result {
 	if !s.finished {
 		s.finished = true
+		s.releaseWorkers()
 		s.finish(s.cycle)
 	}
 	return &s.res
@@ -809,7 +936,12 @@ func (s *Simulator) deliver() {
 }
 
 // deliverEject consumes the flit on node v's ejection wire, if one arrived
-// before this cycle. It is the per-node body shared by both engines.
+// before this cycle. It is the per-node body shared by all engines, and it
+// always runs on the coordinating goroutine in ascending node order: the
+// latency ledger, the float accumulations, the CSV trace, and the
+// closed-loop Delivered callbacks are all order-sensitive, so delivery is
+// the one stage the parallel engine never fans out. Its writes to the
+// shared scalars therefore stay direct.
 func (s *Simulator) deliverEject(v int) {
 	w := s.vclWire(s.ejectVCL(v))
 	if !s.wireFull[w] || s.wire[w].arrived >= s.now {
@@ -855,15 +987,18 @@ func (s *Simulator) deliverEject(v int) {
 // flit entered the wire (credit-based flow control), so the push cannot
 // fail.
 func (s *Simulator) linkStage() {
+	wx := &s.wk[0]
 	for w := 0; w < s.nCh+s.n; w++ { // ejection wires drain in deliver
-		s.linkWire(w)
+		s.linkWire(wx, w)
 	}
 }
 
 // linkWire completes the link traversal of the flit on wire w, if one
 // arrived before this cycle: it lands in the downstream virtual-channel
-// buffer, waking that lane. It is the per-wire body shared by both engines.
-func (s *Simulator) linkWire(w int) {
+// buffer, waking that lane. It is the per-wire body shared by all engines;
+// under EngineParallel it runs on the worker owning the downstream switch,
+// so the buffer push and the lane wakeup stay single-writer.
+func (s *Simulator) linkWire(wx *wctx, w int) {
 	if !s.wireFull[w] || s.wire[w].arrived >= s.now {
 		return
 	}
@@ -877,7 +1012,7 @@ func (s *Simulator) linkWire(w int) {
 	f.arrived = s.now
 	b.push(f)
 	s.wireFull[w] = false
-	s.lastMove = s.now
+	wx.moved = true
 	if s.ev != nil {
 		s.ev.markLane(s.wireVCL[w])
 	}
@@ -887,6 +1022,7 @@ func (s *Simulator) linkWire(w int) {
 // and allocate output virtual channels; body flits follow their packet's
 // channel.
 func (s *Simulator) switchStage() {
+	wx := &s.wk[0]
 	for v := 0; v < s.n; v++ {
 		lanes := s.inVCLs[v]
 		k := len(lanes)
@@ -896,7 +1032,7 @@ func (s *Simulator) switchStage() {
 		start := s.rr[v] % k
 		s.rr[v]++
 		for i := 0; i < k; i++ {
-			s.tryForward(v, lanes[(start+i)%k])
+			s.tryForward(wx, v, lanes[(start+i)%k])
 		}
 	}
 }
@@ -916,8 +1052,11 @@ func (s *Simulator) canAccept(out int32) bool {
 }
 
 // tryForward attempts to advance the head flit of input vclane li at
-// switch v.
-func (s *Simulator) tryForward(v int, li int32) {
+// switch v. Under EngineParallel it runs on the worker owning v; every
+// resource it touches — v's input lanes, the lanes and wires of channels
+// leaving v, the header packet's hop fields — is written only during v's
+// crossbar turn, and the wavefront schedule sequences adjacent switches.
+func (s *Simulator) tryForward(wx *wctx, v int, li int32) {
 	b := &s.bufs[li]
 	if b.empty() {
 		return
@@ -930,7 +1069,7 @@ func (s *Simulator) tryForward(v int, li int32) {
 	if f.idx == 0 {
 		// Header: needs routing + output allocation (its one clock through
 		// the switch is the routing/arbitration clock).
-		out = s.routeHeader(v, li, f)
+		out = s.routeHeader(wx, v, li, f)
 		if out == noVCL {
 			return // blocked: desired output(s) busy
 		}
@@ -945,10 +1084,8 @@ func (s *Simulator) tryForward(v int, li int32) {
 	s.wire[w] = fl
 	s.wireVCL[w] = out
 	s.wireFull[w] = true
-	s.lastMove = s.now
-	if s.ev != nil {
-		s.ev.noteFill(int(w))
-	}
+	wx.moved = true
+	wx.noteFill(int(w))
 	if ch := s.vclChannel(out); ch >= 0 {
 		if s.measuring {
 			s.res.ChannelFlits[ch]++
@@ -973,7 +1110,7 @@ func (s *Simulator) tryForward(v int, li int32) {
 
 // routeHeader picks and allocates an output vclane for a header flit at
 // switch v that arrived on vclane li, or returns noVCL if it must wait.
-func (s *Simulator) routeHeader(v int, li int32, f *flit) int32 {
+func (s *Simulator) routeHeader(wx *wctx, v int, li int32, f *flit) int32 {
 	p := &s.packets[f.pkt]
 	if int32(v) == p.dst {
 		out := s.ejectVCL(v)
@@ -997,21 +1134,21 @@ func (s *Simulator) routeHeader(v int, li int32, f *flit) int32 {
 		if ch := s.vclChannel(li); ch >= 0 {
 			state = ch
 		}
-		s.candBuf = s.tb.NextChannels(int(p.dst), state, s.candBuf[:0])
-		s.freeBuf = s.freeBuf[:0]
-		for _, c := range s.candBuf {
+		wx.candBuf = s.tb.NextChannels(int(p.dst), state, wx.candBuf[:0])
+		wx.freeBuf = wx.freeBuf[:0]
+		for _, c := range wx.candBuf {
 			for vc := 0; vc < s.nVC; vc++ {
 				out := int32(c*s.nVC + vc)
 				if s.owner[out] == noOwner && s.canAccept(out) {
-					s.freeBuf = append(s.freeBuf, out)
+					wx.freeBuf = append(wx.freeBuf, out)
 					break // one free VC per candidate channel is enough
 				}
 			}
 		}
-		if len(s.freeBuf) == 0 {
+		if len(wx.freeBuf) == 0 {
 			return noVCL
 		}
-		out := s.selectVCL(s.freeBuf)
+		out := s.selectVCL(wx.freeBuf)
 		s.owner[out] = f.pkt
 		return out
 	}
@@ -1059,16 +1196,20 @@ func (s *Simulator) allocVC(ch int, pkt int32) int32 {
 // feedInjection streams the head packet of each source queue into the
 // node's injection channel, one flit per clock.
 func (s *Simulator) feedInjection() {
+	wx := &s.wk[0]
 	for v := 0; v < s.n; v++ {
-		s.feedNode(v)
+		s.feedNode(wx, v)
 	}
 }
 
 // feedNode advances node v's source queue by at most one flit. It is the
-// per-node body shared by both engines; the returned bool reports whether
+// per-node body shared by all engines; the returned bool reports whether
 // the node has nothing left to inject (dead, or its queue is empty), which
 // the event engine uses to retire the node from its active-source set.
-func (s *Simulator) feedNode(v int) bool {
+// Under EngineParallel it runs on the worker owning v: the injection wire,
+// the source queue, and the streaming packet's injection fields belong to v
+// alone.
+func (s *Simulator) feedNode(wx *wctx, v int) bool {
 	if s.deadNode[v] {
 		return true
 	}
@@ -1105,12 +1246,10 @@ func (s *Simulator) feedNode(v int) bool {
 	s.wire[w] = flit{pkt: pid, idx: p.sentFlits, arrived: s.now}
 	s.wireVCL[w] = l
 	s.wireFull[w] = true
-	s.inFlight++
-	s.res.FlitsInjected++
-	s.lastMove = s.now
-	if s.ev != nil {
-		s.ev.noteFill(int(w))
-	}
+	wx.inFlight++
+	wx.injected++
+	wx.moved = true
+	wx.noteFill(int(w))
 	if s.TraceMove != nil {
 		s.TraceMove(l, pid, p.sentFlits)
 	}
@@ -1131,6 +1270,7 @@ func (s *Simulator) feedNode(v int) bool {
 // funnel into spawnPacket, so path selection, unroutable accounting, and
 // event-engine wakeups are identical.
 func (s *Simulator) generate() {
+	wx := &s.wk[0]
 	if s.cfg.Workload != nil {
 		for v := 0; v < s.n; v++ {
 			if s.deadNode[v] {
@@ -1140,7 +1280,7 @@ func (s *Simulator) generate() {
 			if !ok {
 				continue
 			}
-			s.spawnPacket(v, dst, tag)
+			s.spawnPacket(wx, v, dst, tag)
 		}
 		return
 	}
@@ -1152,7 +1292,7 @@ func (s *Simulator) generate() {
 		if !ok {
 			continue
 		}
-		s.spawnPacket(v, dst, noTag)
+		s.spawnPacket(wx, v, dst, noTag)
 	}
 }
 
@@ -1160,16 +1300,23 @@ func (s *Simulator) generate() {
 // configured mode, and queues it at the source. It is the shared tail of
 // both injection processes; a packet to an unreachable destination (only
 // possible after faults) is discarded and counted in PacketsUnroutable.
-func (s *Simulator) spawnPacket(v, dst int, tag int64) {
-	p := packet{
-		src:           int32(v),
-		dst:           int32(dst),
-		length:        int32(s.cfg.PacketLength),
-		created:       s.now,
-		injected:      -1,
-		firstInjected: -1,
-		tag:           tag,
+func (s *Simulator) spawnPacket(wx *wctx, v, dst int, tag int64) {
+	route, ok := s.sampleRoute(wx, v, dst)
+	if !ok {
+		s.res.PacketsUnroutable++
+		return
 	}
+	s.commitPacket(v, dst, tag, route)
+}
+
+// sampleRoute draws a route for a packet from v to dst per the configured
+// mode: the route channels (source-routed/deterministic), or nil with a
+// reachability probe (adaptive — so a packet to a dead switch never enters
+// the network and wanders forever). ok=false means no legal route exists.
+// All randomness comes from v's private path stream and the shared state it
+// reads is immutable during a cycle, so the parallel generate phase may
+// call it concurrently for distinct v.
+func (s *Simulator) sampleRoute(wx *wctx, v, dst int) (route []int32, ok bool) {
 	switch s.cfg.Mode {
 	case SourceRouted:
 		path, err := s.tb.SamplePath(v, dst, s.pathRng[v])
@@ -1181,34 +1328,51 @@ func (s *Simulator) spawnPacket(v, dst int, tag int64) {
 			if !s.faulted {
 				panic(err)
 			}
-			s.res.PacketsUnroutable++
-			return
+			return nil, false
 		}
-		p.route = make([]int32, len(path))
+		route = make([]int32, len(path))
 		for i, c := range path {
-			p.route[i] = int32(c)
+			route[i] = int32(c)
 		}
+		return route, true
 	case Deterministic:
 		path, err := s.tb.FixedPath(v, dst)
 		if err != nil {
 			if !s.faulted {
 				panic(err)
 			}
-			s.res.PacketsUnroutable++
-			return
+			return nil, false
 		}
-		p.route = make([]int32, len(path))
+		route = make([]int32, len(path))
 		for i, c := range path {
-			p.route[i] = int32(c)
+			route[i] = int32(c)
 		}
-	default: // Adaptive: probe reachability so a packet to a dead
-		// switch never enters the network and wanders forever.
+		return route, true
+	default: // Adaptive
 		if s.faulted {
-			if s.candBuf = s.tb.NextChannels(dst, routing.InjectionState(v), s.candBuf[:0]); len(s.candBuf) == 0 {
-				s.res.PacketsUnroutable++
-				return
+			if wx.candBuf = s.tb.NextChannels(dst, routing.InjectionState(v), wx.candBuf[:0]); len(wx.candBuf) == 0 {
+				return nil, false
 			}
 		}
+		return nil, true
+	}
+}
+
+// commitPacket appends one sampled packet to the simulation: the id it gets
+// is its position in the packet table, so commits must happen in ascending
+// source-node order — sequentially in generate, and in worker order (==
+// ascending node order, since workers own contiguous ranges) when the
+// parallel engine drains its staged spawns.
+func (s *Simulator) commitPacket(v, dst int, tag int64, route []int32) {
+	p := packet{
+		src:           int32(v),
+		dst:           int32(dst),
+		length:        int32(s.cfg.PacketLength),
+		created:       s.now,
+		injected:      -1,
+		firstInjected: -1,
+		tag:           tag,
+		route:         route,
 	}
 	id := int32(len(s.packets))
 	s.packets = append(s.packets, p)

@@ -36,23 +36,37 @@ benchall:
 lint-docs:
 	$(GO) run ./cmd/doclint
 
-# Serving benchmark: start irnetd on an ephemeral port, drive it with
-# irbench at the paper topology scale (128 switches, 4 ports), and write
-# throughput + latency percentiles to results/BENCH_netd.json. The daemon
-# is SIGTERMed afterwards and must drain cleanly (exit 0) for the target
-# to succeed.
+# Serving benchmark: start irnetd with crash-safe snapshot persistence at
+# the paper topology scale (128 switches, 4 ports), measure a steady phase
+# and a reconfiguration-storm phase with irbench (both merged into
+# results/BENCH_netd.json), then kill the daemon with SIGKILL, restart it
+# from the persisted snapshot, verify it recovers (stale restore + fresh
+# queries), and require a clean SIGTERM drain at the end.
 servebench:
 	mkdir -p results/.bin
 	$(GO) build -o results/.bin/irnetd ./cmd/irnetd
 	$(GO) build -o results/.bin/irbench ./cmd/irbench
-	@set -e; rm -f results/.bin/addr; \
+	@set -e; rm -f results/.bin/addr results/.bin/irnetd.snap results/BENCH_netd.json; \
 	results/.bin/irnetd -listen 127.0.0.1:0 -addr-file results/.bin/addr \
-		-switches 128 -ports 4 > results/.bin/irnetd.log 2>&1 & pid=$$!; \
+		-switches 128 -ports 4 -snapshot results/.bin/irnetd.snap \
+		> results/.bin/irnetd.log 2>&1 & pid=$$!; \
 	trap 'kill $$pid 2>/dev/null || true' EXIT; \
 	results/.bin/irbench -addr-file results/.bin/addr -wait 10s \
-		-qps 15000 -conns 8 -duration 5s -json results/BENCH_netd.json; \
+		-qps 15000 -conns 8 -duration 5s -mode steady \
+		-merge results/BENCH_netd.json; \
+	results/.bin/irbench -addr-file results/.bin/addr -wait 10s \
+		-qps 15000 -conns 8 -duration 10s -mode storm -reconfigs 60 \
+		-merge results/BENCH_netd.json; \
+	kill -9 $$pid 2>/dev/null; wait $$pid 2>/dev/null || true; \
+	rm -f results/.bin/addr; \
+	results/.bin/irnetd -listen 127.0.0.1:0 -addr-file results/.bin/addr \
+		-switches 128 -ports 4 -snapshot results/.bin/irnetd.snap \
+		> results/.bin/irnetd2.log 2>&1 & pid=$$!; \
+	results/.bin/irbench -addr-file results/.bin/addr -wait 10s \
+		-qps 2000 -conns 4 -duration 1s -mode steady; \
+	grep -q 'restored snapshot' results/.bin/irnetd2.log; \
 	kill -TERM $$pid; wait $$pid; trap - EXIT; \
-	grep -q 'irnetd: drained' results/.bin/irnetd.log
+	grep -q 'irnetd: drained' results/.bin/irnetd2.log
 	@cat results/BENCH_netd.json
 
 # The full paper-scale evaluation; writes text, CSV, and SVG into results/.
@@ -120,6 +134,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzFaultRun -fuzztime=30s ./internal/fault/
 	$(GO) test -run=^$$ -fuzz=FuzzRecoveryRun -fuzztime=20s ./internal/fault/
 	$(GO) test -run=^$$ -fuzz=FuzzFIBDecode -fuzztime=15s ./internal/fib/
+	$(GO) test -run=^$$ -fuzz=FuzzSnapshotDecode -fuzztime=15s ./internal/netd/
 
 clean:
 	rm -f results/*.svg results/*.csv results/*.txt results/*.jsonl

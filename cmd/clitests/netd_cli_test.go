@@ -122,8 +122,14 @@ func TestIrbenchAgainstDaemon(t *testing.T) {
 	}
 	var rep struct {
 		Bench       string  `json:"bench"`
+		Mode        string  `json:"mode"`
 		AchievedQPS float64 `json:"achieved_qps"`
 		Requests    int     `json:"requests"`
+		Served      int     `json:"served"`
+		Shed        int     `json:"shed"`
+		Non2xx      int     `json:"non_2xx"`
+		Timeouts    int     `json:"timeouts"`
+		NetErrors   int     `json:"net_errors"`
 		Errors      int     `json:"errors"`
 		LatencyUS   struct {
 			P50 float64 `json:"p50"`
@@ -133,8 +139,14 @@ func TestIrbenchAgainstDaemon(t *testing.T) {
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		t.Fatalf("bad bench JSON: %v\n%s", err, raw)
 	}
-	if rep.Bench != "irnetd" || rep.Requests == 0 || rep.Errors != 0 {
+	if rep.Bench != "irnetd" || rep.Mode != "steady" || rep.Requests == 0 || rep.Errors != 0 {
 		t.Fatalf("bench report %+v\n%s", rep, out)
+	}
+	if rep.Served == 0 || rep.Served+rep.Shed+rep.Non2xx+rep.Timeouts+rep.NetErrors != rep.Requests {
+		t.Fatalf("outcome fields do not partition requests: %+v", rep)
+	}
+	if rep.Errors != rep.Timeouts+rep.NetErrors {
+		t.Fatalf("errors field is not timeouts+net_errors: %+v", rep)
 	}
 	if rep.LatencyUS.P99 < rep.LatencyUS.P50 || rep.LatencyUS.P50 <= 0 {
 		t.Fatalf("implausible latency percentiles: %+v", rep.LatencyUS)

@@ -1,0 +1,115 @@
+package clitests
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestIrnetdCrashRecovery drives the full crash-recovery story through the
+// real binary: reconfigure, SIGKILL (no drain, no goodbye), restart on the
+// same snapshot file, serve the restored generation in stale mode, then
+// watch the background recompute publish the next version.
+func TestIrnetdCrashRecovery(t *testing.T) {
+	snapPath := filepath.Join(t.TempDir(), "irnetd.snap")
+
+	base, cmd := startDaemon(t, "-snapshot", snapPath)
+
+	// Reconfigure so the persisted state is not just the boot snapshot.
+	var topo struct {
+		Links [][2]int `json:"links"`
+	}
+	getInto(t, base+"/topology", &topo)
+	if len(topo.Links) == 0 {
+		t.Fatal("daemon reports no links")
+	}
+	killed := false
+	var after struct {
+		Version uint64 `json:"version"`
+	}
+	for _, l := range topo.Links {
+		resp, err := http.Post(fmt.Sprintf("%s/topology/kill-link?u=%d&v=%d",
+			base, l[0], l[1]), "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := resp.StatusCode == http.StatusOK
+		if ok {
+			if err := json.NewDecoder(resp.Body).Decode(&after); err != nil {
+				t.Fatal(err)
+			}
+		}
+		resp.Body.Close()
+		if ok {
+			killed = true
+			break
+		}
+	}
+	if !killed || after.Version != 2 {
+		t.Fatalf("kill-link did not publish version 2 (killed=%v, version=%d)", killed, after.Version)
+	}
+
+	// SIGKILL: the daemon gets no chance to clean up. Only the snapshot
+	// file survives.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+
+	// Restart on the same file with a recompute delay wide enough to
+	// observe the degraded window.
+	base2, cmd2 := startDaemon(t, "-snapshot", snapPath, "-recompute-delay", "1500ms")
+	defer func() {
+		_ = cmd2.Process.Signal(syscall.SIGTERM)
+		_ = cmd2.Wait()
+	}()
+
+	var sn struct {
+		Version uint64 `json:"version"`
+		Stale   bool   `json:"stale"`
+	}
+	getInto(t, base2+"/snapshot", &sn)
+	if sn.Version != 2 || !sn.Stale {
+		t.Fatalf("restored snapshot version %d stale=%v, want 2 stale", sn.Version, sn.Stale)
+	}
+
+	// Degraded mode answers queries.
+	var route struct {
+		Version uint64 `json:"version"`
+		Hops    int    `json:"hops"`
+	}
+	getInto(t, base2+"/route?from=0&to=9", &route)
+	if route.Version != 2 || route.Hops == 0 {
+		t.Fatalf("stale-mode route answer %+v", route)
+	}
+
+	// The background recompute publishes version 3, non-stale.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		getInto(t, base2+"/snapshot", &sn)
+		if sn.Version == 3 && !sn.Stale {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recompute never published: version %d stale=%v", sn.Version, sn.Stale)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Post-recovery reconfiguration continues the version sequence.
+	resp, err := http.Post(base2+"/topology/reset", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&after); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if after.Version != 4 {
+		t.Fatalf("post-recovery reset published version %d, want 4", after.Version)
+	}
+}

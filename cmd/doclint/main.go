@@ -12,8 +12,8 @@
 //
 // With no arguments it checks the repository's documented core:
 // internal/wormsim, internal/harness, internal/metrics, internal/traffic,
-// internal/workload, and the root irnet package. Exits non-zero listing
-// every violation.
+// internal/workload, internal/chaos, internal/netdclient, and the root
+// irnet package. Exits non-zero listing every violation.
 package main
 
 import (
@@ -34,6 +34,8 @@ var defaultDirs = []string{
 	"internal/metrics",
 	"internal/traffic",
 	"internal/workload",
+	"internal/chaos",
+	"internal/netdclient",
 }
 
 func main() {

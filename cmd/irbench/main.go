@@ -1,25 +1,38 @@
 // Command irbench load-tests a running irnetd and reports throughput and
-// latency percentiles. Workers pace themselves to the target rate (or run
-// a closed loop with -qps 0), reuse keep-alive connections, and draw random
-// live query pairs from the daemon's own /snapshot answer.
+// latency percentiles. Workers are netdclient clients — the resilient
+// library with deadlines, retries, and deterministic-jitter backoff — so
+// the bench exercises exactly the client behavior a real consumer gets,
+// and its report separates the ways a request can fail: shed (429 after
+// retries), non-2xx, client-side timeouts, and transport errors.
 //
 // Usage:
 //
 //	irbench -addr HOST:PORT | -addr-file PATH
 //	        [-qps 10000] [-conns 8] [-duration 5s] [-wait 5s]
 //	        [-endpoint route|nexthop] [-seed 1] [-json FILE]
+//	        [-mode steady|storm] [-reconfigs 50]
+//	        [-retries 4] [-req-timeout 2s] [-merge FILE]
 //
-// The text summary goes to stdout; -json additionally writes a
-// machine-readable report. Exit is nonzero if any request failed.
+// -mode storm adds a reconfiguration driver: while the workers query, the
+// driver kills random live links through the daemon's own API (every 4th
+// event repairs the fabric with /topology/reset) until -reconfigs
+// generations have been published. The report then also carries the
+// version span, so a chaos harness can assert version continuity across a
+// daemon restart.
+//
+// -json writes this run's report; -merge FILE updates a combined document
+// {"bench":"irnetd","steady":{...},"storm":{...}} keyed by mode — the
+// format results/BENCH_netd.json uses.
+//
+// Exit is nonzero only if no request at all succeeded.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"math"
-	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -27,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/netdclient"
 	"repro/internal/rng"
 )
 
@@ -40,31 +54,45 @@ type latencyReport struct {
 }
 
 type report struct {
-	Bench           string        `json:"bench"`
-	Endpoint        string        `json:"endpoint"`
-	Addr            string        `json:"addr"`
-	Switches        int           `json:"switches"`
-	SnapshotVersion uint64        `json:"snapshot_version"`
-	Conns           int           `json:"conns"`
-	TargetQPS       float64       `json:"target_qps"`
-	AchievedQPS     float64       `json:"achieved_qps"`
-	Requests        int           `json:"requests"`
-	Errors          int           `json:"errors"`
-	DurationSeconds float64       `json:"duration_seconds"`
-	LatencyUS       latencyReport `json:"latency_us"`
+	Bench                string        `json:"bench"`
+	Mode                 string        `json:"mode"`
+	Endpoint             string        `json:"endpoint"`
+	Addr                 string        `json:"addr"`
+	Switches             int           `json:"switches"`
+	SnapshotVersionStart uint64        `json:"snapshot_version_start"`
+	SnapshotVersionEnd   uint64        `json:"snapshot_version_end"`
+	Reconfigurations     uint64        `json:"reconfigurations"`
+	Conns                int           `json:"conns"`
+	TargetQPS            float64       `json:"target_qps"`
+	AchievedQPS          float64       `json:"achieved_qps"`
+	Requests             uint64        `json:"requests"`
+	Served               uint64        `json:"served"`
+	Shed                 uint64        `json:"shed"`
+	Non2xx               uint64        `json:"non_2xx"`
+	Timeouts             uint64        `json:"timeouts"`
+	NetErrors            uint64        `json:"net_errors"`
+	Retries              uint64        `json:"retries"`
+	Errors               uint64        `json:"errors"` // timeouts + net_errors (back-compat)
+	DurationSeconds      float64       `json:"duration_seconds"`
+	LatencyUS            latencyReport `json:"latency_us"`
 }
 
 func main() {
 	var (
-		addr     = flag.String("addr", "", "daemon address HOST:PORT")
-		addrFile = flag.String("addr-file", "", "read the daemon address from this file (written by irnetd -addr-file)")
-		qps      = flag.Float64("qps", 10000, "total target request rate (0 = unthrottled closed loop)")
-		conns    = flag.Int("conns", 8, "concurrent keep-alive connections (workers)")
-		duration = flag.Duration("duration", 5*time.Second, "measurement window")
-		wait     = flag.Duration("wait", 5*time.Second, "how long to wait for the daemon to become ready")
-		endpoint = flag.String("endpoint", "route", "query endpoint to drive (route or nexthop)")
-		seed     = flag.Uint64("seed", 1, "seed for query-pair selection")
-		jsonOut  = flag.String("json", "", "also write a JSON report to this file")
+		addr      = flag.String("addr", "", "daemon address HOST:PORT")
+		addrFile  = flag.String("addr-file", "", "read the daemon address from this file (written by irnetd -addr-file)")
+		qps       = flag.Float64("qps", 10000, "total target request rate (0 = unthrottled closed loop)")
+		conns     = flag.Int("conns", 8, "concurrent client workers")
+		duration  = flag.Duration("duration", 5*time.Second, "measurement window")
+		wait      = flag.Duration("wait", 5*time.Second, "how long to wait for the daemon to become ready")
+		endpoint  = flag.String("endpoint", "route", "query endpoint to drive (route or nexthop)")
+		seed      = flag.Uint64("seed", 1, "seed for query-pair selection and retry jitter")
+		jsonOut   = flag.String("json", "", "write this run's JSON report to this file")
+		mode      = flag.String("mode", "steady", "steady (fixed topology) or storm (drive reconfigurations while measuring)")
+		reconfigs = flag.Int("reconfigs", 50, "reconfigurations to drive in storm mode")
+		retries   = flag.Int("retries", 4, "client retries per request")
+		reqTO     = flag.Duration("req-timeout", 2*time.Second, "per-attempt client deadline")
+		mergeOut  = flag.String("merge", "", `update this combined JSON file under the "steady"/"storm" key for -mode`)
 	)
 	flag.Parse()
 	if *conns < 1 {
@@ -73,29 +101,43 @@ func main() {
 	if *endpoint != "route" && *endpoint != "nexthop" {
 		cliutil.Usagef("irbench", "-endpoint must be route or nexthop, got %q", *endpoint)
 	}
+	if *mode != "steady" && *mode != "storm" {
+		cliutil.Usagef("irbench", "-mode must be steady or storm, got %q", *mode)
+	}
 
 	target, err := resolveAddr(*addr, *addrFile, *wait)
 	if err != nil {
 		cliutil.Fatal("irbench", err)
 	}
 	base := "http://" + target
-	if err := awaitReady(base, *wait); err != nil {
+	newClient := func(s uint64) *netdclient.Client {
+		return netdclient.New(netdclient.Config{
+			Base:           base,
+			Retries:        *retries,
+			AttemptTimeout: *reqTO,
+			Seed:           s,
+		})
+	}
+	ctl := newClient(*seed ^ 0xC0FFEE)
+	readyCtx, cancelReady := context.WithTimeout(context.Background(), *wait)
+	if err := ctl.WaitReady(readyCtx); err != nil {
+		cancelReady()
 		cliutil.Fatal("irbench", err)
 	}
-	n, version, err := fetchSnapshot(base)
+	cancelReady()
+	snStart, err := ctl.Snapshot(context.Background())
 	if err != nil {
 		cliutil.Fatal("irbench", err)
 	}
+	n := snStart.Switches
 	if n < 2 {
 		cliutil.Fatalf("irbench", "daemon serves %d switches; need at least 2", n)
 	}
 
-	type worker struct {
-		lat  []time.Duration
-		errs int
-	}
-	workers := make([]worker, *conns)
+	workers := make([]*netdclient.Client, *conns)
+	lat := make([][]time.Duration, *conns)
 	var wg sync.WaitGroup
+	ctx, cancel := context.WithCancel(context.Background())
 	start := time.Now()
 	deadline := start.Add(*duration)
 	perWorkerInterval := time.Duration(0)
@@ -103,18 +145,17 @@ func main() {
 		perWorkerInterval = time.Duration(float64(*conns) / *qps * float64(time.Second))
 	}
 	for w := 0; w < *conns; w++ {
+		workers[w] = newClient(*seed + uint64(w)*0x9e3779b9)
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			// One transport per worker = one keep-alive connection each.
-			client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 1}}
+			c := workers[w]
 			r := rng.New(*seed + uint64(w)*0x9e3779b9)
-			me := &workers[w]
-			me.lat = make([]time.Duration, 0, 1<<16)
+			lat[w] = make([]time.Duration, 0, 1<<16)
 			next := start
-			for i := 0; ; i++ {
+			for {
 				now := time.Now()
-				if now.After(deadline) {
+				if now.After(deadline) || ctx.Err() != nil {
 					return
 				}
 				if perWorkerInterval > 0 {
@@ -128,39 +169,85 @@ func main() {
 				if to >= from {
 					to++
 				}
-				var url string
+				var path string
 				if *endpoint == "route" {
-					url = fmt.Sprintf("%s/route?from=%d&to=%d", base, from, to)
+					path = fmt.Sprintf("/route?from=%d&to=%d", from, to)
 				} else {
-					url = fmt.Sprintf("%s/nexthop?at=%d&dst=%d", base, from, to)
+					path = fmt.Sprintf("/nexthop?at=%d&dst=%d", from, to)
 				}
 				t0 := time.Now()
-				resp, err := client.Get(url)
-				if err != nil {
-					me.errs++
-					continue
+				status, _, err := c.Get(ctx, path)
+				if err == nil && status == 200 {
+					lat[w] = append(lat[w], time.Since(t0))
 				}
-				_, _ = io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
-					me.errs++
-					continue
-				}
-				me.lat = append(me.lat, time.Since(t0))
 			}
 		}(w)
 	}
+
+	// Storm mode: drive reconfigurations through the daemon's own API while
+	// the workers measure. Every 4th event repairs the fabric so the storm
+	// can always keep killing; failed kills (bridge links) just try another.
+	var stormSwaps uint64
+	if *mode == "storm" {
+		stormRng := rng.New(*seed ^ 0x570123)
+		stormCtx := ctx
+		for int(stormSwaps) < *reconfigs && stormCtx.Err() == nil && time.Now().Before(deadline) {
+			if stormSwaps%4 == 3 {
+				if st, _, err := ctl.Post(stormCtx, "/topology/reset"); err == nil && st == 200 {
+					stormSwaps++
+				}
+				continue
+			}
+			topo, err := ctl.Topology(stormCtx)
+			if err != nil || len(topo.Links) == 0 {
+				continue
+			}
+			killed := false
+			for _, i := range stormRng.Perm(len(topo.Links)) {
+				l := topo.Links[i]
+				st, _, err := ctl.Post(stormCtx,
+					fmt.Sprintf("/topology/kill-link?u=%d&v=%d", l[0], l[1]))
+				if err == nil && st == 200 {
+					stormSwaps++
+					killed = true
+					break
+				}
+				if err != nil || stormCtx.Err() != nil {
+					break
+				}
+			}
+			if !killed {
+				if st, _, err := ctl.Post(stormCtx, "/topology/reset"); err == nil && st == 200 {
+					stormSwaps++
+				}
+			}
+		}
+	}
+
 	wg.Wait()
+	cancel()
 	elapsed := time.Since(start)
+	snEnd, err := ctl.Snapshot(context.Background())
+	if err != nil {
+		snEnd = snStart // daemon gone at the very end; report what we know
+	}
 
 	var all []time.Duration
-	errs := 0
-	for i := range workers {
-		all = append(all, workers[i].lat...)
-		errs += workers[i].errs
+	var totals netdclient.Stats
+	for w := range workers {
+		all = append(all, lat[w]...)
+		st := workers[w].Stats()
+		totals.Requests += st.Requests
+		totals.Served += st.Served
+		totals.Shed += st.Shed
+		totals.Non2xx += st.Non2xx
+		totals.Timeouts += st.Timeouts
+		totals.NetErrors += st.NetErrors
+		totals.Retries += st.Retries
 	}
 	if len(all) == 0 {
-		cliutil.Fatalf("irbench", "no successful requests (%d errors)", errs)
+		cliutil.Fatalf("irbench", "no successful requests (%d shed, %d non-2xx, %d timeouts, %d net errors)",
+			totals.Shed, totals.Non2xx, totals.Timeouts, totals.NetErrors)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
@@ -176,18 +263,31 @@ func main() {
 		sum += d
 	}
 
+	reconfigDelta := uint64(0)
+	if snEnd.Version > snStart.Version {
+		reconfigDelta = snEnd.Version - snStart.Version
+	}
 	rep := report{
-		Bench:           "irnetd",
-		Endpoint:        *endpoint,
-		Addr:            target,
-		Switches:        n,
-		SnapshotVersion: version,
-		Conns:           *conns,
-		TargetQPS:       *qps,
-		AchievedQPS:     float64(len(all)) / elapsed.Seconds(),
-		Requests:        len(all) + errs,
-		Errors:          errs,
-		DurationSeconds: elapsed.Seconds(),
+		Bench:                "irnetd",
+		Mode:                 *mode,
+		Endpoint:             *endpoint,
+		Addr:                 target,
+		Switches:             n,
+		SnapshotVersionStart: snStart.Version,
+		SnapshotVersionEnd:   snEnd.Version,
+		Reconfigurations:     reconfigDelta,
+		Conns:                *conns,
+		TargetQPS:            *qps,
+		AchievedQPS:          float64(len(all)) / elapsed.Seconds(),
+		Requests:             totals.Requests,
+		Served:               totals.Served,
+		Shed:                 totals.Shed,
+		Non2xx:               totals.Non2xx,
+		Timeouts:             totals.Timeouts,
+		NetErrors:            totals.NetErrors,
+		Retries:              totals.Retries,
+		Errors:               totals.Timeouts + totals.NetErrors,
+		DurationSeconds:      elapsed.Seconds(),
 		LatencyUS: latencyReport{
 			MeanUS: us(sum / time.Duration(len(all))),
 			P50US:  pct(50),
@@ -198,26 +298,59 @@ func main() {
 		},
 	}
 
-	fmt.Printf("irbench: %s %s  %d switches, snapshot v%d\n", rep.Endpoint, rep.Addr, n, version)
-	fmt.Printf("  %d requests in %.2fs over %d conns: %.0f qps (target %.0f), %d errors\n",
-		rep.Requests, rep.DurationSeconds, rep.Conns, rep.AchievedQPS, rep.TargetQPS, errs)
+	fmt.Printf("irbench: %s %s %s  %d switches, snapshot v%d -> v%d (%d reconfigurations)\n",
+		rep.Mode, rep.Endpoint, rep.Addr, n, rep.SnapshotVersionStart, rep.SnapshotVersionEnd,
+		rep.Reconfigurations)
+	fmt.Printf("  %d requests in %.2fs over %d conns: %.0f qps (target %.0f)\n",
+		rep.Requests, rep.DurationSeconds, rep.Conns, rep.AchievedQPS, rep.TargetQPS)
+	fmt.Printf("  outcomes: %d served, %d shed, %d non-2xx, %d timeouts, %d net errors (%d retries)\n",
+		rep.Served, rep.Shed, rep.Non2xx, rep.Timeouts, rep.NetErrors, rep.Retries)
 	fmt.Printf("  latency µs: mean %.0f  p50 %.0f  p90 %.0f  p99 %.0f  p99.9 %.0f  max %.0f\n",
 		rep.LatencyUS.MeanUS, rep.LatencyUS.P50US, rep.LatencyUS.P90US,
 		rep.LatencyUS.P99US, rep.LatencyUS.P999US, rep.LatencyUS.MaxUS)
 
 	if *jsonOut != "" {
-		buf, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			cliutil.Fatal("irbench", err)
-		}
-		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+		if err := writeJSONFile(*jsonOut, rep); err != nil {
 			cliutil.Fatal("irbench", err)
 		}
 		fmt.Printf("  wrote %s\n", *jsonOut)
 	}
-	if errs > 0 {
-		os.Exit(cliutil.ExitFailure)
+	if *mergeOut != "" {
+		if err := mergeReport(*mergeOut, rep); err != nil {
+			cliutil.Fatal("irbench", err)
+		}
+		fmt.Printf("  merged into %s\n", *mergeOut)
 	}
+}
+
+func writeJSONFile(path string, v any) error {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// mergeReport updates the combined benchmark document, keeping the other
+// mode's entry intact so steady and storm runs can land in either order.
+func mergeReport(path string, rep report) error {
+	doc := map[string]json.RawMessage{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("%s exists but is not a JSON object: %v", path, err)
+		}
+	}
+	entry, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	doc["bench"], _ = json.Marshal("irnetd")
+	doc[rep.Mode] = entry
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 // resolveAddr returns the daemon address from -addr, or polls -addr-file
@@ -242,40 +375,4 @@ func resolveAddr(addr, addrFile string, wait time.Duration) (string, error) {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-}
-
-func awaitReady(base string, wait time.Duration) error {
-	deadline := time.Now().Add(wait)
-	for {
-		resp, err := http.Get(base + "/readyz")
-		if err == nil {
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				return nil
-			}
-		}
-		if time.Now().After(deadline) {
-			if err != nil {
-				return fmt.Errorf("daemon at %s not ready within %s: %v", base, wait, err)
-			}
-			return fmt.Errorf("daemon at %s not ready within %s", base, wait)
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-}
-
-func fetchSnapshot(base string) (n int, version uint64, err error) {
-	resp, err := http.Get(base + "/snapshot")
-	if err != nil {
-		return 0, 0, err
-	}
-	defer resp.Body.Close()
-	var sn struct {
-		Version  uint64 `json:"version"`
-		Switches int    `json:"switches"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&sn); err != nil {
-		return 0, 0, fmt.Errorf("bad /snapshot answer: %v", err)
-	}
-	return sn.Switches, sn.Version, nil
 }

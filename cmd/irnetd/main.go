@@ -12,6 +12,26 @@
 //	       [-topo random] [-switches 128] [-ports 4] [-seed 1]
 //	       [-policy M1] [-alg DOWN/UP] [-fib FILE] [-pprof]
 //	       [-drain 10s]
+//	       [-snapshot FILE] [-recompute-delay 0]
+//	       [-max-inflight 512] [-request-timeout 2s] [-write-timeout 5s]
+//	       [-retry-after 1s]
+//	       [-chaos 0.0] [-chaos-seed 1]
+//
+// Robustness machinery:
+//
+//   - -snapshot FILE makes the daemon crash-safe: every published snapshot
+//     is atomically persisted, and after a crash the daemon restores the
+//     last good file and serves immediately in degraded (stale) mode while
+//     a full recompute runs in the background (delayed by -recompute-delay
+//     if set). A corrupted or missing file falls back to a cold start.
+//   - -max-inflight / -request-timeout / -write-timeout / -retry-after
+//     bound the HTTP front end: excess requests are shed with 429 and a
+//     Retry-After hint, stuck handlers are cancelled, slow readers cannot
+//     hold connections open forever.
+//   - -chaos LEVEL (0..1) injects deterministic faults — request delays,
+//     503 bursts, connection kills — for resilience testing. Never set it
+//     in production; it exists so the storm benchmarks and CI chaos jobs
+//     exercise the same binary they ship.
 //
 // SIGTERM or SIGINT drains gracefully: /readyz flips to 503, open requests
 // complete (up to -drain), and the process exits 0 after printing
@@ -33,6 +53,7 @@ import (
 	"time"
 
 	irnet "repro"
+	"repro/internal/chaos"
 	"repro/internal/cliutil"
 	"repro/internal/fib"
 	"repro/internal/netd"
@@ -51,6 +72,15 @@ func main() {
 		fibPath  = flag.String("fib", "", "serve this precompiled FIB artifact (validated against the topology)")
 		withProf = flag.Bool("pprof", false, "expose /debug/pprof/")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline after SIGTERM")
+
+		snapPath       = flag.String("snapshot", "", "persist every published snapshot to this file and restore it on boot (crash recovery)")
+		recomputeDelay = flag.Duration("recompute-delay", 0, "wait this long after a stale restore before the background recompute")
+		maxInflight    = flag.Int("max-inflight", 512, "concurrency ceiling; excess requests are shed with 429 (0 disables)")
+		reqTimeout     = flag.Duration("request-timeout", 2*time.Second, "per-request deadline (0 disables)")
+		writeTimeout   = flag.Duration("write-timeout", 5*time.Second, "per-request write deadline for slow clients (0 disables)")
+		retryAfter     = flag.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
+		chaosLevel     = flag.Float64("chaos", 0, "fault-injection intensity 0..1 (testing only)")
+		chaosSeed      = flag.Uint64("chaos-seed", 1, "seed for the chaos fault schedule")
 	)
 	flag.Parse()
 
@@ -80,17 +110,34 @@ func main() {
 	}
 
 	svc, err := netd.New(netd.Config{
-		Graph:      g,
-		Algorithm:  alg,
-		Policy:     pol,
-		Seed:       *seed,
-		InitialFIB: initial,
+		Graph:        g,
+		Algorithm:    alg,
+		Policy:       pol,
+		Seed:         *seed,
+		InitialFIB:   initial,
+		SnapshotPath: *snapPath,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
 	})
 	if err != nil {
 		cliutil.Fatal("irnetd", err)
 	}
 
-	handler := svc.Handler()
+	// Overload protection wraps everything; chaos (testing only) sits
+	// between it and the service so shedding still wins under injection.
+	inner := svc.Handler()
+	chaosCfg := chaos.Intensity(*chaosLevel, *chaosSeed)
+	if chaosCfg.Active() {
+		fmt.Printf("irnetd: %s\n", chaosCfg)
+		inner = chaos.NewInjector(chaosCfg).Wrap(inner)
+	}
+	handler := svc.Protect(inner, netd.ProtectConfig{
+		MaxInFlight:    *maxInflight,
+		RetryAfter:     *retryAfter,
+		RequestTimeout: *reqTimeout,
+		WriteTimeout:   *writeTimeout,
+	})
 	if *withProf {
 		outer := http.NewServeMux()
 		outer.HandleFunc("/debug/pprof/", pprof.Index)
@@ -102,9 +149,13 @@ func main() {
 		handler = outer
 	}
 
-	ln, err := net.Listen("tcp", *listen)
+	var ln net.Listener
+	ln, err = net.Listen("tcp", *listen)
 	if err != nil {
 		cliutil.Fatal("irnetd", err)
+	}
+	if chaosCfg.Active() {
+		ln = chaos.WrapListener(ln, chaosCfg)
 	}
 	if *addrFile != "" {
 		// Write-then-rename so a polling reader never sees a partial address.
@@ -119,8 +170,29 @@ func main() {
 
 	sn := svc.Snapshot()
 	fmt.Printf("irnetd: listening http://%s\n", ln.Addr())
-	fmt.Printf("irnetd: snapshot v%d  %s on %d switches, %d links, %d turn releases, %d-byte FIB\n",
-		sn.Version, sn.Algorithm, sn.LiveSwitches, sn.LiveLinks, sn.ReleasedTurns, sn.FIBSize())
+	mode := ""
+	if sn.Stale {
+		mode = " [restored, stale until recompute]"
+	}
+	fmt.Printf("irnetd: snapshot v%d  %s on %d switches, %d links, %d turn releases, %d-byte FIB%s\n",
+		sn.Version, sn.Algorithm, sn.LiveSwitches, sn.LiveLinks, sn.ReleasedTurns, sn.FIBSize(), mode)
+
+	// Degraded-mode exit: a stale restore answers immediately, and the full
+	// pipeline reruns in the background to publish a freshly verified
+	// generation. -recompute-delay widens the stale window for tests.
+	if sn.Stale {
+		go func() {
+			if *recomputeDelay > 0 {
+				time.Sleep(*recomputeDelay)
+			}
+			rec, err := svc.Recompute()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "irnetd: background recompute failed: %v\n", err)
+				return
+			}
+			fmt.Printf("irnetd: recompute published snapshot v%d, degraded mode over\n", rec.Version)
+		}()
+	}
 
 	srv := &http.Server{Handler: handler}
 	drained := make(chan struct{})

@@ -1,0 +1,145 @@
+package chaos
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestInjectorDeterministicDecisionStream(t *testing.T) {
+	cfg := Config{Seed: 7, LatencyProb: 0.3, MaxLatency: time.Microsecond,
+		ErrorProb: 0.2, ErrorBurst: 3}
+	type fate struct {
+		delayed bool
+		fail    bool
+	}
+	draw := func() []fate {
+		in := NewInjector(cfg)
+		out := make([]fate, 200)
+		for i := range out {
+			d, f := in.decide()
+			out[i] = fate{d > 0, f}
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across identically seeded injectors: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestInjectorBurstsAndCounters(t *testing.T) {
+	// ErrorProb 1 means every non-burst request starts a burst: the stream
+	// is all failures, in runs of ErrorBurst.
+	in := NewInjector(Config{Seed: 1, ErrorProb: 1, ErrorBurst: 3})
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	h := in.Wrap(inner)
+	for i := 0; i < 9; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("request %d: got %d, want injected 503", i, rec.Code)
+		}
+	}
+	if in.Errors() != 9 {
+		t.Fatalf("Errors() = %d, want 9", in.Errors())
+	}
+}
+
+func TestInjectorZeroConfigIsTransparent(t *testing.T) {
+	in := NewInjector(Config{})
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	})
+	rec := httptest.NewRecorder()
+	in.Wrap(inner).ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("zero config altered the response: %d", rec.Code)
+	}
+	if Intensity(0, 1).Active() {
+		t.Fatal("Intensity(0) must be inactive")
+	}
+	if !Intensity(0.1, 1).Active() {
+		t.Fatal("Intensity(0.1) must be active")
+	}
+}
+
+func TestInjectedLatencyHonorsDeadline(t *testing.T) {
+	in := NewInjector(Config{Seed: 1, LatencyProb: 1, MaxLatency: 10 * time.Second})
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("handler ran despite expired deadline")
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	req := httptest.NewRequest("GET", "/", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	start := time.Now()
+	in.Wrap(inner).ServeHTTP(rec, req)
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("injected delay ignored the deadline (took %s)", took)
+	}
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("deadline during injected latency: got %d, want 503", rec.Code)
+	}
+}
+
+// TestListenerKillsConnections proves the listener layer actually severs
+// connections mid-response: with ResetProb 1 every connection dies once the
+// response exceeds its byte budget, and the client sees a transport error,
+// not a clean body.
+func TestListenerKillsConnections(t *testing.T) {
+	big := make([]byte, 1<<20) // far beyond any kill budget
+	srv := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write(big)
+	}))
+	ln := WrapListener(srv.Listener, Config{Seed: 3, ResetProb: 1})
+	srv.Listener = ln
+	srv.Start()
+	defer srv.Close()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	sawErr := false
+	for i := 0; i < 8; i++ {
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			sawErr = true
+			continue
+		}
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatal("no request observed a killed connection despite ResetProb 1")
+	}
+	if ln.Kills() == 0 {
+		t.Fatal("listener recorded zero kills")
+	}
+}
+
+func TestListenerZeroConfigPassesThrough(t *testing.T) {
+	srv := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("ok"))
+	}))
+	srv.Listener = WrapListener(srv.Listener, Config{})
+	srv.Start()
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || string(body) != "ok" {
+		t.Fatalf("passthrough broken: %q, %v", body, err)
+	}
+}

@@ -1,0 +1,291 @@
+package netd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/ctree"
+	"repro/internal/netdclient"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// snapHistory records every published snapshot by version so responses can
+// be checked against the exact generation that produced them. Both daemon
+// incarnations in the storm write into the same history; a restored stale
+// snapshot re-publishes a version already present, which is legal only if
+// its FIB is byte-identical to what the crashed incarnation published.
+type snapHistory struct {
+	mu   sync.RWMutex
+	byV  map[uint64]*Snapshot
+	errs []string
+}
+
+func (h *snapHistory) record(sn *Snapshot) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if prev, ok := h.byV[sn.Version]; ok {
+		if string(prev.FIBBytes()) != string(sn.FIBBytes()) {
+			h.errs = append(h.errs, fmt.Sprintf(
+				"version %d republished with a different FIB", sn.Version))
+		}
+	}
+	h.byV[sn.Version] = sn
+}
+
+func (h *snapHistory) get(v uint64) *Snapshot {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.byV[v]
+}
+
+// TestChaosStorm is the headline robustness property test: the full stack —
+// overload shedding, chaos injection at both the middleware and the socket
+// layer, retrying clients, crash-safe persistence — runs through 50+
+// reconfigurations with a kill-and-restart in the middle, and every single
+// 200 answer must match the published snapshot its version names. It runs
+// under -race in the chaos-smoke CI job.
+func TestChaosStorm(t *testing.T) {
+	swaps, workers := 50, 6
+	if testing.Short() {
+		swaps, workers = 12, 3
+	}
+	const switches = 32
+
+	g, err := topology.RandomIrregular(
+		topology.IrregularConfig{Switches: switches, Ports: 4, Fill: 1}, rng.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(t.TempDir(), "irnetd.snap")
+	hist := &snapHistory{byV: make(map[uint64]*Snapshot)}
+	newService := func() *Service {
+		s, err := New(Config{
+			Graph: g, Algorithm: core.DownUp{}, Policy: ctree.M1, Seed: 77,
+			SnapshotPath: snapPath, OnSwap: hist.record, Logf: t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	protect := ProtectConfig{
+		MaxInFlight: 64, RetryAfter: time.Second,
+		RequestTimeout: 2 * time.Second, WriteTimeout: 5 * time.Second,
+	}
+	inj := chaos.NewInjector(chaos.Intensity(0.3, 99))
+	var chaosLn atomic.Pointer[chaos.Listener]
+	startServer := func(s *Service) *httptest.Server {
+		srv := httptest.NewUnstartedServer(s.Protect(inj.Wrap(s.Handler()), protect))
+		ln := chaos.WrapListener(srv.Listener, chaos.Intensity(0.3, 101))
+		srv.Listener = ln
+		chaosLn.Store(ln)
+		srv.Start()
+		return srv
+	}
+
+	svc := newService()
+	srv := startServer(svc)
+	var target atomic.Value
+	target.Store(srv.URL)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var (
+		wg           sync.WaitGroup
+		inconsistent atomic.Int64
+		checked      atomic.Int64
+		latMu        sync.Mutex
+		latencies    []time.Duration
+		clientsMu    sync.Mutex
+		clientTotals netdclient.Stats
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := netdclient.New(netdclient.Config{
+				BaseFunc:       func() string { return target.Load().(string) },
+				Retries:        8,
+				AttemptTimeout: 2 * time.Second,
+				BaseBackoff:    2 * time.Millisecond,
+				MaxBackoff:     50 * time.Millisecond,
+				Seed:           uint64(100 + w),
+			})
+			r := rng.New(uint64(1000 + w))
+			var local []time.Duration
+			for ctx.Err() == nil {
+				from, to := r.Intn(switches), r.Intn(switches)
+				if from == to {
+					continue
+				}
+				start := time.Now()
+				status, body, err := c.Get(ctx, fmt.Sprintf("/route?from=%d&to=%d", from, to))
+				local = append(local, time.Since(start))
+				if err != nil || status != http.StatusOK {
+					continue // shed, chaos 5xx, dead switch, retries exhausted
+				}
+				var resp routeResponse
+				if err := json.Unmarshal(body, &resp); err != nil {
+					inconsistent.Add(1)
+					t.Errorf("200 body is not a route response: %v (%.80s)", err, body)
+					continue
+				}
+				sn := hist.get(resp.Version)
+				if sn == nil {
+					inconsistent.Add(1)
+					t.Errorf("response names version %d that was never published", resp.Version)
+					continue
+				}
+				want, err := sn.Route(from, to, nil)
+				if err != nil {
+					inconsistent.Add(1)
+					t.Errorf("version %d cannot answer %d->%d but served it: %v",
+						resp.Version, from, to, err)
+					continue
+				}
+				if len(want) != len(resp.Path) {
+					inconsistent.Add(1)
+					t.Errorf("version %d route %d->%d: served %d hops, snapshot says %d",
+						resp.Version, from, to, len(resp.Path), len(want))
+					continue
+				}
+				for i := range want {
+					if want[i] != resp.Path[i] {
+						inconsistent.Add(1)
+						t.Errorf("version %d route %d->%d hop %d: served %+v, snapshot %+v",
+							resp.Version, from, to, i, resp.Path[i], want[i])
+						break
+					}
+				}
+				checked.Add(1)
+			}
+			latMu.Lock()
+			latencies = append(latencies, local...)
+			latMu.Unlock()
+			clientsMu.Lock()
+			st := c.Stats()
+			clientTotals.Requests += st.Requests
+			clientTotals.Served += st.Served
+			clientTotals.Shed += st.Shed
+			clientTotals.Non2xx += st.Non2xx
+			clientTotals.Timeouts += st.Timeouts
+			clientTotals.NetErrors += st.NetErrors
+			clientTotals.Retries += st.Retries
+			clientsMu.Unlock()
+		}(w)
+	}
+
+	// The storm driver: kill a random live link (every 4th swap repairs the
+	// fabric instead), with a kill-9-and-restart in the middle.
+	stormRng := rng.New(7777)
+	crashAt := swaps / 2
+	crashed := false
+	lastVersion := svc.Snapshot().Version
+	for done := 0; done < swaps; {
+		if !crashed && done >= crashAt {
+			crashed = true
+			// Kill the daemon with requests in flight: no drain, no goodbye.
+			srv.CloseClientConnections()
+			srv.Close()
+			lastVersion = svc.Snapshot().Version
+
+			svc = newService()
+			sn := svc.Snapshot()
+			if !sn.Stale {
+				t.Fatal("restarted service did not restore from the snapshot file")
+			}
+			if sn.Version != lastVersion {
+				t.Fatalf("restored version %d, crashed at %d", sn.Version, lastVersion)
+			}
+			rec, err := svc.Recompute()
+			if err != nil {
+				t.Fatalf("recompute after restore: %v", err)
+			}
+			if rec.Version != lastVersion+1 || rec.Stale {
+				t.Fatalf("recompute published version %d stale=%v, want %d non-stale",
+					rec.Version, rec.Stale, lastVersion+1)
+			}
+			srv = startServer(svc)
+			target.Store(srv.URL)
+			done++
+			continue
+		}
+		if done%4 == 3 {
+			if _, err := svc.Reset(); err != nil {
+				t.Fatalf("reset: %v", err)
+			}
+			done++
+			continue
+		}
+		links := svc.Snapshot().Links()
+		killed := false
+		for _, i := range stormRng.Perm(len(links)) {
+			if _, err := svc.KillLink(links[i].From, links[i].To); err == nil {
+				killed = true
+				break
+			}
+		}
+		if !killed {
+			// Every remaining link is a bridge: repair and keep going.
+			if _, err := svc.Reset(); err != nil {
+				t.Fatalf("reset: %v", err)
+			}
+		}
+		done++
+	}
+	// Let readers catch the final generation before stopping them.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	wg.Wait()
+	srv.Close()
+
+	hist.mu.RLock()
+	histErrs := append([]string(nil), hist.errs...)
+	published := len(hist.byV)
+	hist.mu.RUnlock()
+	for _, e := range histErrs {
+		t.Error(e)
+	}
+	if inconsistent.Load() != 0 {
+		t.Fatalf("%d responses were inconsistent with their snapshot", inconsistent.Load())
+	}
+	if checked.Load() == 0 {
+		t.Fatal("no successful response was ever verified; the storm served nothing")
+	}
+	if published < swaps {
+		t.Fatalf("only %d snapshots published, want >= %d", published, swaps)
+	}
+	if got := svc.Snapshot().Version; got < uint64(swaps) {
+		t.Fatalf("final version %d, want >= %d (version continuity across the crash)", got, swaps)
+	}
+
+	// Latency must stay bounded even under injected faults: every retry
+	// path is capped, so p99 beyond a few seconds means something hung.
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p99 := latencies[len(latencies)*99/100]
+	if p99 > 10*time.Second {
+		t.Fatalf("p99 latency %s under chaos; retries or deadlines are broken", p99)
+	}
+
+	// The storm must actually have stormed.
+	if inj.Delays()+inj.Errors() == 0 {
+		t.Error("chaos injector fired nothing")
+	}
+	if clientTotals.Retries == 0 {
+		t.Error("no client ever retried; the chaos did not reach them")
+	}
+	t.Logf("storm: %d published, %d answers verified, p99 %s, injector delays=%d errors=%d kills=%d, clients %+v",
+		published, checked.Load(), p99, inj.Delays(), inj.Errors(), chaosLn.Load().Kills(), clientTotals)
+}

@@ -1,0 +1,107 @@
+package netd
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestGracefulDrainCompletesInFlight encodes the shutdown contract: after
+// SIGTERM (modeled by SetDraining + Shutdown) the readiness probe flips to
+// 503 so load balancers stop sending traffic, but a request already in
+// flight runs to a successful completion before Shutdown returns.
+func TestGracefulDrainCompletesInFlight(t *testing.T) {
+	s := testService(t, 16, 4, 6)
+
+	// A gate parks /route requests so "in flight" is not a race to win.
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	gate := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/route" {
+			entered <- struct{}{}
+			<-release
+		}
+		s.Handler().ServeHTTP(w, r)
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: gate}
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		_ = srv.Serve(ln)
+	}()
+	base := "http://" + ln.Addr().String()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz before drain: %d, want 200", code)
+	}
+
+	// Start the long request, confirm it is inside the handler.
+	type result struct {
+		code int
+		body string
+		err  error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(base + "/route?from=0&to=5")
+		if err != nil {
+			inflight <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		inflight <- result{code: resp.StatusCode, body: string(b)}
+	}()
+	<-entered
+
+	// SIGTERM arrives: readiness flips first, while the server still serves.
+	s.SetDraining(true)
+	if code, _ := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain: %d, want 503", code)
+	}
+	// Queries keep working during the drain window.
+	if code, _ := get("/snapshot"); code != http.StatusOK {
+		t.Fatalf("snapshot during drain: %d, want 200", code)
+	}
+
+	// Shutdown must block on the parked request, not abort it.
+	shutdownDone := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go func() { shutdownDone <- srv.Shutdown(ctx) }()
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) while a request was still in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(release)
+	res := <-inflight
+	if res.err != nil || res.code != http.StatusOK {
+		t.Fatalf("in-flight request during drain: code %d err %v body %.120s",
+			res.code, res.err, res.body)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown after drain: %v", err)
+	}
+	<-serveDone
+}

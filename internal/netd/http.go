@@ -178,6 +178,7 @@ func (s *Service) handleNextHop(w http.ResponseWriter, r *http.Request) {
 
 type snapshotResponse struct {
 	Version       uint64  `json:"version"`
+	Stale         bool    `json:"stale"`
 	Algorithm     string  `json:"algorithm"`
 	Policy        string  `json:"policy"`
 	Switches      int     `json:"switches"`
@@ -196,6 +197,7 @@ func snapshotInfo(sn *Snapshot, now time.Time) snapshotResponse {
 	}
 	return snapshotResponse{
 		Version:       sn.Version,
+		Stale:         sn.Stale,
 		Algorithm:     sn.Algorithm,
 		Policy:        sn.Policy.String(),
 		Switches:      sn.N(),

@@ -20,14 +20,18 @@ type svcMetrics struct {
 	queries map[string]map[string]*metrics.Counter // endpoint -> outcome
 	latency map[string]*metrics.Histogram          // endpoint
 
-	reconfigs        map[string]*metrics.Counter // link-down, switch-down, reset
+	reconfigs        map[string]*metrics.Counter // link-down, switch-down, reset, recompute
 	reconfigFailures *metrics.Counter
 	reconvergence    *metrics.Histogram
+
+	persists map[string]*metrics.Counter // snapshot persist outcome: ok, error
+	restores map[string]*metrics.Counter // boot restore outcome: ok, missing, error
 
 	snapshotVersion *metrics.Gauge
 	liveSwitches    *metrics.Gauge
 	liveLinks       *metrics.Gauge
 	fibBytes        *metrics.Gauge
+	stale           *metrics.Gauge
 }
 
 func (s *Service) initMetrics() {
@@ -49,7 +53,7 @@ func (s *Service) initMetrics() {
 	}
 
 	s.m.reconfigs = make(map[string]*metrics.Counter)
-	for _, kind := range []string{"link-down", "switch-down", "reset"} {
+	for _, kind := range []string{"link-down", "switch-down", "reset", "recompute"} {
 		s.m.reconfigs[kind] = reg.Counter(fmt.Sprintf(
 			`irnetd_reconfigurations_total{kind=%q}`, kind))
 	}
@@ -59,7 +63,19 @@ func (s *Service) initMetrics() {
 	s.m.reconvergence = reg.Histogram("irnetd_reconvergence_duration_seconds",
 		metrics.ExponentialBuckets(1e-4, 2, 15))
 
+	s.m.persists = make(map[string]*metrics.Counter)
+	for _, oc := range []string{"ok", "error"} {
+		s.m.persists[oc] = reg.Counter(fmt.Sprintf(
+			`irnetd_snapshot_persist_total{outcome=%q}`, oc))
+	}
+	s.m.restores = make(map[string]*metrics.Counter)
+	for _, oc := range []string{"ok", "missing", "error"} {
+		s.m.restores[oc] = reg.Counter(fmt.Sprintf(
+			`irnetd_restore_total{outcome=%q}`, oc))
+	}
+
 	s.m.snapshotVersion = reg.Gauge("irnetd_snapshot_version")
+	s.m.stale = reg.Gauge("irnetd_snapshot_stale")
 	s.m.liveSwitches = reg.Gauge("irnetd_snapshot_live_switches")
 	s.m.liveLinks = reg.Gauge("irnetd_snapshot_live_links")
 	s.m.fibBytes = reg.Gauge("irnetd_snapshot_fib_bytes")

@@ -24,6 +24,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io/fs"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -67,6 +68,15 @@ type Config struct {
 	// deployment path. It must match the graph's communication-graph
 	// structure (validated); reconfigurations always compile fresh.
 	InitialFIB *fib.FIB
+	// SnapshotPath, when non-empty, makes the service crash-safe: every
+	// published snapshot is atomically persisted there, and on startup the
+	// last good file is restored and served immediately — flagged stale —
+	// instead of blocking boot on a full rebuild. A missing or corrupted
+	// file falls back to a cold start; it is never fatal.
+	SnapshotPath string
+	// Logf receives operational log lines (restore outcomes, persist
+	// failures). Nil discards them.
+	Logf func(format string, args ...any)
 	// Registry receives the service's metrics (a fresh one if nil).
 	Registry *metrics.Registry
 	// OnSwap, when set, is called with each new snapshot — the initial one
@@ -90,6 +100,11 @@ type Hop struct {
 type Snapshot struct {
 	// Version increases by one per reconfiguration, starting at 1.
 	Version uint64
+	// Stale marks a snapshot restored from disk after a crash: the answers
+	// are exactly what the previous process published at this version, but
+	// they have not been recomputed by this process yet. Recompute clears
+	// it by publishing the next generation.
+	Stale bool
 	// Algorithm is the routing function's name.
 	Algorithm string
 	// Policy is the tree policy the snapshot was built with.
@@ -249,10 +264,33 @@ func New(cfg Config) (*Service, error) {
 		treeRng: rng.New(cfg.Seed),
 	}
 	s.initMetrics()
+	if cfg.SnapshotPath != "" {
+		if sn, err := s.restore(cfg.SnapshotPath); err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				s.m.restores["missing"].Inc()
+				s.logf("irnetd: no snapshot at %s, cold start", cfg.SnapshotPath)
+			} else {
+				s.m.restores["error"].Inc()
+				s.logf("irnetd: snapshot restore failed (%v), cold start", err)
+			}
+		} else {
+			s.m.restores["ok"].Inc()
+			s.logf("irnetd: restored snapshot version %d from %s (stale until recompute)",
+				sn.Version, cfg.SnapshotPath)
+			return s, nil
+		}
+	}
 	if _, err := s.install(s.live, s.dead, cfg.InitialFIB); err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+// logf writes one operational log line through Config.Logf, if set.
+func (s *Service) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
 }
 
 // Snapshot returns the current snapshot. The hot path: one atomic load.
@@ -393,5 +431,16 @@ func (s *Service) install(graph *topology.Graph, dead []bool, preFIB *fib.FIB) (
 	s.m.liveSwitches.Set(float64(sn.LiveSwitches))
 	s.m.liveLinks.Set(float64(sn.LiveLinks))
 	s.m.fibBytes.Set(float64(sn.fibSize))
+	s.m.stale.Set(0)
+	// Persist after publishing: a persist failure degrades crash recovery,
+	// never the live service.
+	if s.cfg.SnapshotPath != "" {
+		if err := saveSnapshot(s.cfg.SnapshotPath, persistState(sn)); err != nil {
+			s.m.persists["error"].Inc()
+			s.logf("irnetd: persisting snapshot version %d failed: %v", sn.Version, err)
+		} else {
+			s.m.persists["ok"].Inc()
+		}
+	}
 	return sn, nil
 }

@@ -1,0 +1,276 @@
+package netd
+
+// Crash-safe snapshot persistence. Every published snapshot is serialized
+// into a small checksummed envelope and atomically replaced on disk
+// (write-temp-then-rename, the same discipline irnetd's -addr-file uses),
+// so the file always holds exactly one complete generation. On boot the
+// service restores the last good file and serves it immediately — flagged
+// stale — while the full ctree + routing + verification + FIB recompute
+// runs behind it; a corrupted or truncated file is detected by the
+// checksum and skipped, never trusted and never fatal.
+//
+// The envelope extends the internal/fib binary codec's conventions (magic,
+// explicit format version, little-endian, bounded allocations) and wraps
+// the serialized FIB itself as the payload:
+//
+//	magic "IRNETSNP" | format u16
+//	snapshot version u64 | policy u8 | released turns u32
+//	n u32 | dead count u32 + ids u32... | link count u32 + (u,v) u32 pairs...
+//	fib length u32 + fib bytes (the fib.FIB codec, compacted ids)
+//	crc64-ECMA u64 over everything above
+//
+// Deliberately absent: timestamps and anything else nondeterministic. Two
+// daemons that publish the same generation of the same network write
+// byte-identical files, which is what lets CI diff recovered state across
+// independent crash/restart cycles.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"os"
+	"path/filepath"
+
+	"repro/internal/ctree"
+	"repro/internal/topology"
+)
+
+var snapMagic = [8]byte{'I', 'R', 'N', 'E', 'T', 'S', 'N', 'P'}
+
+const snapFormatVersion = 1
+
+// snapMaxFIBBytes bounds the FIB payload a decoder will accept; the
+// 65536-switch ceiling the FIB codec enforces stays far below it.
+const snapMaxFIBBytes = 1 << 28
+
+var snapCRCTable = crc64.MakeTable(crc64.ECMA)
+
+// snapState is the persisted portion of one published snapshot: everything
+// needed to serve queries again without recomputing the routing.
+type snapState struct {
+	Version       uint64
+	Policy        ctree.Policy
+	ReleasedTurns int
+	N             int             // original switch count (stable id space)
+	Dead          []int           // ascending dead switch ids
+	Links         []topology.Edge // surviving links, original ids
+	FIB           []byte          // fib.FIB codec bytes, compacted ids
+}
+
+// encodeSnapshot serializes the state with its trailing checksum.
+func encodeSnapshot(st snapState) []byte {
+	size := 8 + 2 + 8 + 1 + 4 + 4 + 4*len(st.Dead) + 4 + 8*len(st.Links) + 4 + len(st.FIB) + 8
+	buf := make([]byte, 0, size)
+	buf = append(buf, snapMagic[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, snapFormatVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, st.Version)
+	buf = append(buf, byte(st.Policy))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(st.ReleasedTurns))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(st.N))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(st.Dead)))
+	for _, v := range st.Dead {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(st.Links)))
+	for _, e := range st.Links {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.From))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.To))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(st.FIB)))
+	buf = append(buf, st.FIB...)
+	return binary.LittleEndian.AppendUint64(buf, crc64.Checksum(buf, snapCRCTable))
+}
+
+// snapDecoder consumes the envelope front to back with bounds checks.
+type snapDecoder struct {
+	data []byte
+	off  int
+}
+
+func (d *snapDecoder) need(n int) ([]byte, error) {
+	if len(d.data)-d.off < n {
+		return nil, fmt.Errorf("netd: snapshot file truncated at byte %d (need %d more)", d.off, n)
+	}
+	b := d.data[d.off : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+func (d *snapDecoder) u16() (uint16, error) {
+	b, err := d.need(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (d *snapDecoder) u32() (uint32, error) {
+	b, err := d.need(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (d *snapDecoder) u64() (uint64, error) {
+	b, err := d.need(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// decodeSnapshot parses and validates one envelope. Malformed input of any
+// kind — wrong magic, unsupported format version, bad checksum, truncation,
+// out-of-range ids — yields an error, never a panic and never a silently
+// wrong state. Allocation stays proportional to the input length.
+func decodeSnapshot(data []byte) (snapState, error) {
+	var st snapState
+	if len(data) < 8+2+8+1+4+4+4+4+4+8 {
+		return st, fmt.Errorf("netd: snapshot file too short (%d bytes)", len(data))
+	}
+	// Checksum first: nothing else in the file is trusted before it.
+	body, sum := data[:len(data)-8], binary.LittleEndian.Uint64(data[len(data)-8:])
+	if got := crc64.Checksum(body, snapCRCTable); got != sum {
+		return st, fmt.Errorf("netd: snapshot checksum mismatch (file %016x, computed %016x)", sum, got)
+	}
+	d := &snapDecoder{data: body}
+	magic, _ := d.need(8)
+	if [8]byte(magic) != snapMagic {
+		return st, fmt.Errorf("netd: bad snapshot magic %q", magic)
+	}
+	format, _ := d.u16()
+	if format != snapFormatVersion {
+		return st, fmt.Errorf("netd: unsupported snapshot format version %d", format)
+	}
+	st.Version, _ = d.u64()
+	if st.Version == 0 {
+		return st, fmt.Errorf("netd: snapshot version 0 is not publishable")
+	}
+	pol, _ := d.need(1)
+	st.Policy = ctree.Policy(pol[0])
+	if st.Policy.String() == fmt.Sprintf("Policy(%d)", pol[0]) {
+		return st, fmt.Errorf("netd: unknown tree policy byte %d", pol[0])
+	}
+	released, _ := d.u32()
+	st.ReleasedTurns = int(released)
+	n32, _ := d.u32()
+	if n32 == 0 || n32 > 1<<16 {
+		return st, fmt.Errorf("netd: implausible switch count %d", n32)
+	}
+	st.N = int(n32)
+
+	deadCount, _ := d.u32()
+	if int(deadCount) >= st.N {
+		return st, fmt.Errorf("netd: %d dead switches of %d leaves nothing to serve", deadCount, st.N)
+	}
+	seen := make([]bool, st.N)
+	st.Dead = make([]int, deadCount)
+	for i := range st.Dead {
+		id, err := d.u32()
+		if err != nil {
+			return st, err
+		}
+		if int(id) >= st.N || seen[id] {
+			return st, fmt.Errorf("netd: dead switch id %d out of range or repeated", id)
+		}
+		seen[id] = true
+		st.Dead[i] = int(id)
+		if i > 0 && st.Dead[i-1] >= st.Dead[i] {
+			return st, fmt.Errorf("netd: dead switch ids not ascending at index %d", i)
+		}
+	}
+
+	linkCount, err := d.u32()
+	if err != nil {
+		return st, err
+	}
+	// A simple graph on n nodes cannot exceed n(n-1)/2 edges; the FIB's
+	// 16-port ceiling binds far tighter but this check needs no topology.
+	if uint64(linkCount) > uint64(st.N)*uint64(st.N-1)/2 {
+		return st, fmt.Errorf("netd: implausible link count %d for %d switches", linkCount, st.N)
+	}
+	st.Links = make([]topology.Edge, linkCount)
+	for i := range st.Links {
+		u, err := d.u32()
+		if err != nil {
+			return st, err
+		}
+		v, err := d.u32()
+		if err != nil {
+			return st, err
+		}
+		if int(u) >= st.N || int(v) >= st.N || u == v {
+			return st, fmt.Errorf("netd: link %d-%d out of range", u, v)
+		}
+		if seen[u] || seen[v] {
+			return st, fmt.Errorf("netd: link %d-%d touches a dead switch", u, v)
+		}
+		st.Links[i] = topology.Edge{From: int(u), To: int(v)}
+	}
+
+	fibLen, err := d.u32()
+	if err != nil {
+		return st, err
+	}
+	if fibLen > snapMaxFIBBytes {
+		return st, fmt.Errorf("netd: implausible FIB payload length %d", fibLen)
+	}
+	fb, err := d.need(int(fibLen))
+	if err != nil {
+		return st, err
+	}
+	st.FIB = append([]byte(nil), fb...)
+	if d.off != len(body) {
+		return st, fmt.Errorf("netd: %d trailing bytes after snapshot payload", len(body)-d.off)
+	}
+	return st, nil
+}
+
+// saveSnapshot atomically replaces path with the encoded state: the bytes
+// land in a temp file in the same directory first, so a crash mid-write
+// leaves the previous good file untouched and a reader never sees a
+// partial envelope.
+func saveSnapshot(path string, st snapState) error {
+	data := encodeSnapshot(st)
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// loadSnapshot reads and decodes path.
+func loadSnapshot(path string) (snapState, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return snapState{}, err
+	}
+	return decodeSnapshot(data)
+}
+
+// persistState projects a published snapshot into its persisted form.
+func persistState(sn *Snapshot) snapState {
+	return snapState{
+		Version:       sn.Version,
+		Policy:        sn.Policy,
+		ReleasedTurns: sn.ReleasedTurns,
+		N:             sn.N(),
+		Dead:          sn.Dead(),
+		Links:         sn.graph.Edges(),
+		FIB:           sn.fibBytes,
+	}
+}

@@ -1,0 +1,371 @@
+// Package netdclient is the resilient client library for irnetd: the
+// request loop cmd/irbench grew — deadlines, retries, backoff — extracted
+// so every consumer of the control plane survives the daemon's bad days
+// the same way.
+//
+// The failure model mirrors the server's resilience layer. A request can
+// fail four distinct ways, and the client treats each distinctly:
+//
+//   - transport errors (reset connections, refused connects during a
+//     restart) are retried — the hiccup is expected to pass;
+//   - 429 means the daemon is shedding load on purpose: the client backs
+//     off, honoring the Retry-After hint (capped at MaxBackoff so one
+//     pessimistic server cannot stall a latency-sensitive caller);
+//   - 5xx is retried like a transport error — the chaos harness injects
+//     these in bursts shorter than the retry budget;
+//   - any other status is the answer: 4xx is the caller's problem, never
+//     retried.
+//
+// Backoff is exponential with deterministic jitter: the multiplier stream
+// comes from a seeded generator, so a fleet of clients with distinct seeds
+// desynchronizes (no thundering herd on the retry after a restart) while
+// any single run remains reproducible. Every attempt carries a deadline,
+// and the caller's context bounds the whole retry loop.
+package netdclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Config parameterizes a Client. The zero value of every field has a
+// usable default; only one of Base or BaseFunc is required.
+type Config struct {
+	// Base is the daemon's base URL, e.g. "http://127.0.0.1:8380".
+	Base string
+	// BaseFunc, when set, supplies the base URL per attempt — the hook a
+	// harness uses to repoint clients at a restarted daemon. Overrides
+	// Base.
+	BaseFunc func() string
+	// HTTP is the underlying client (a fresh one with keep-alive reuse if
+	// nil). Its Timeout is left alone; per-attempt deadlines come from
+	// AttemptTimeout.
+	HTTP *http.Client
+	// Retries is how many times a failed request is retried (default 4,
+	// so up to 5 attempts). Negative disables retries.
+	Retries int
+	// AttemptTimeout bounds each attempt (default 2s).
+	AttemptTimeout time.Duration
+	// BaseBackoff is the first retry delay (default 10ms); each further
+	// retry doubles it.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the delay between attempts, including any
+	// Retry-After hint from a shedding server (default 500ms).
+	MaxBackoff time.Duration
+	// Seed drives the jitter stream (deterministic per client).
+	Seed uint64
+}
+
+// Stats counts request outcomes since the client was created. "Final"
+// outcomes partition logical requests; Retries and Shed429 count
+// per-attempt events on top.
+type Stats struct {
+	// Requests is the number of logical requests issued.
+	Requests uint64
+	// Served counts requests whose final answer was 2xx.
+	Served uint64
+	// Shed counts requests whose final answer was 429 — the retry budget
+	// ran out while the server was shedding.
+	Shed uint64
+	// Non2xx counts requests with any other final HTTP status (4xx, 5xx).
+	Non2xx uint64
+	// Timeouts counts requests that exhausted retries on client-side
+	// deadline expiries.
+	Timeouts uint64
+	// NetErrors counts requests that exhausted retries on other transport
+	// errors (resets, refused connections, torn bodies).
+	NetErrors uint64
+	// Retries is the total number of retry attempts across all requests.
+	Retries uint64
+	// Shed429 is the total number of 429 responses observed, including
+	// ones a later retry recovered from.
+	Shed429 uint64
+}
+
+// Client is a resilient irnetd client; safe for concurrent use.
+type Client struct {
+	cfg  Config
+	http *http.Client
+
+	mu sync.Mutex // guards r
+	r  *rng.Rng
+
+	requests, served, shed, non2xx atomic.Uint64
+	timeouts, netErrors            atomic.Uint64
+	retries, shed429               atomic.Uint64
+}
+
+// New returns a client for the configuration.
+func New(cfg Config) *Client {
+	if cfg.AttemptTimeout <= 0 {
+		cfg.AttemptTimeout = 2 * time.Second
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 10 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 500 * time.Millisecond
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 4
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	h := cfg.HTTP
+	if h == nil {
+		h = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 2}}
+	}
+	return &Client{cfg: cfg, http: h, r: rng.New(cfg.Seed)}
+}
+
+// Stats returns a snapshot of the outcome counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Requests:  c.requests.Load(),
+		Served:    c.served.Load(),
+		Shed:      c.shed.Load(),
+		Non2xx:    c.non2xx.Load(),
+		Timeouts:  c.timeouts.Load(),
+		NetErrors: c.netErrors.Load(),
+		Retries:   c.retries.Load(),
+		Shed429:   c.shed429.Load(),
+	}
+}
+
+func (c *Client) base() string {
+	if c.cfg.BaseFunc != nil {
+		return c.cfg.BaseFunc()
+	}
+	return c.cfg.Base
+}
+
+// backoff returns the pre-jitter delay before retry number attempt (0 =
+// first retry), folding in a server Retry-After hint when larger, then
+// scales by a deterministic jitter factor in [0.5, 1.5) and caps at
+// MaxBackoff.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	d := c.cfg.BaseBackoff << uint(attempt)
+	if d <= 0 || d > c.cfg.MaxBackoff { // shift overflow or past the cap
+		d = c.cfg.MaxBackoff
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	if d > c.cfg.MaxBackoff {
+		d = c.cfg.MaxBackoff
+	}
+	c.mu.Lock()
+	jitter := 0.5 + c.r.Float64()
+	c.mu.Unlock()
+	return time.Duration(jitter * float64(d))
+}
+
+// isTimeout classifies a client-side deadline expiry.
+func isTimeout(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// retryAfter parses a Retry-After header (delta-seconds form only).
+func retryAfter(resp *http.Response) time.Duration {
+	if resp == nil {
+		return 0
+	}
+	raw := resp.Header.Get("Retry-After")
+	if raw == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(raw)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// Do issues one logical request with the full retry policy and returns the
+// final status and body. A non-2xx final status is returned with err == nil
+// — the caller asked, the server answered; only exhausted transport
+// failures and deadline expiries surface as errors.
+func (c *Client) Do(ctx context.Context, method, path string) (int, []byte, error) {
+	c.requests.Add(1)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+		status, body, hint, err := c.attempt(actx, method, path)
+		cancel()
+
+		if err == nil && status != http.StatusTooManyRequests && status < 500 {
+			if status >= 200 && status < 300 {
+				c.served.Add(1)
+			} else {
+				c.non2xx.Add(1)
+			}
+			return status, body, nil
+		}
+		if err != nil {
+			lastErr = err
+		} else {
+			lastErr = nil
+			if status == http.StatusTooManyRequests {
+				c.shed429.Add(1)
+			}
+		}
+
+		if attempt >= c.cfg.Retries || ctx.Err() != nil {
+			// Budget exhausted: classify the final outcome.
+			switch {
+			case lastErr == nil && status == http.StatusTooManyRequests:
+				c.shed.Add(1)
+				return status, body, nil
+			case lastErr == nil: // final 5xx
+				c.non2xx.Add(1)
+				return status, body, nil
+			case isTimeout(lastErr):
+				c.timeouts.Add(1)
+			default:
+				c.netErrors.Add(1)
+			}
+			return 0, nil, fmt.Errorf("netdclient: %s %s after %d attempts: %w",
+				method, path, attempt+1, lastErr)
+		}
+
+		c.retries.Add(1)
+		t := time.NewTimer(c.backoff(attempt, hint))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			c.timeouts.Add(1)
+			return 0, nil, fmt.Errorf("netdclient: %s %s: %w", method, path, ctx.Err())
+		}
+	}
+}
+
+// attempt issues one HTTP attempt and fully drains the body (keep-alive
+// hygiene: a half-read body poisons the pooled connection).
+func (c *Client) attempt(ctx context.Context, method, path string) (int, []byte, time.Duration, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base()+path, nil)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return 0, nil, 0, fmt.Errorf("reading body: %w", err)
+	}
+	return resp.StatusCode, body, retryAfter(resp), nil
+}
+
+// Get issues a GET for path (which must start with "/").
+func (c *Client) Get(ctx context.Context, path string) (int, []byte, error) {
+	return c.Do(ctx, http.MethodGet, path)
+}
+
+// Post issues a POST for path (which must start with "/").
+func (c *Client) Post(ctx context.Context, path string) (int, []byte, error) {
+	return c.Do(ctx, http.MethodPost, path)
+}
+
+// GetJSON issues a GET and decodes a 200 answer into v; any other final
+// status is an error carrying the status and body.
+func (c *Client) GetJSON(ctx context.Context, path string, v any) error {
+	status, body, err := c.Get(ctx, path)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("netdclient: GET %s: status %d: %s", path, status, body)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("netdclient: GET %s: bad JSON: %w", path, err)
+	}
+	return nil
+}
+
+// SnapshotInfo is the subset of the daemon's /snapshot answer clients act
+// on.
+type SnapshotInfo struct {
+	// Version is the snapshot's generation number.
+	Version uint64 `json:"version"`
+	// Algorithm is the routing function's name.
+	Algorithm string `json:"algorithm"`
+	// Switches is the original switch count (the stable id space).
+	Switches int `json:"switches"`
+	// LiveSwitches and LiveLinks describe the surviving topology.
+	LiveSwitches int `json:"live_switches"`
+	// LiveLinks is the surviving bidirectional link count.
+	LiveLinks int `json:"live_links"`
+	// Stale marks a snapshot restored from disk after a crash, served
+	// while the full recompute is still running.
+	Stale bool `json:"stale"`
+}
+
+// Snapshot fetches the daemon's current snapshot descriptor.
+func (c *Client) Snapshot(ctx context.Context) (SnapshotInfo, error) {
+	var sn SnapshotInfo
+	err := c.GetJSON(ctx, "/snapshot", &sn)
+	return sn, err
+}
+
+// TopologyInfo is the daemon's /topology answer.
+type TopologyInfo struct {
+	// Version is the snapshot version the answer was computed from.
+	Version uint64 `json:"version"`
+	// Switches is the original switch count.
+	Switches int `json:"switches"`
+	// DeadSwitches lists currently failed switch ids.
+	DeadSwitches []int `json:"dead_switches"`
+	// Links lists the surviving bidirectional links.
+	Links [][2]int `json:"links"`
+}
+
+// Topology fetches the daemon's current live topology.
+func (c *Client) Topology(ctx context.Context) (TopologyInfo, error) {
+	var ti TopologyInfo
+	err := c.GetJSON(ctx, "/topology", &ti)
+	return ti, err
+}
+
+// WaitReady polls /readyz until it answers 200 or the context expires.
+// Unlike the query methods it treats every failure as "not yet".
+func (c *Client) WaitReady(ctx context.Context) error {
+	probe := New(Config{Base: c.cfg.Base, BaseFunc: c.cfg.BaseFunc, HTTP: c.http,
+		Retries: -1, AttemptTimeout: time.Second, Seed: c.cfg.Seed})
+	for {
+		status, _, err := probe.Get(ctx, "/readyz")
+		if err == nil && status == http.StatusOK {
+			return nil
+		}
+		if ctx.Err() != nil {
+			if err == nil {
+				err = fmt.Errorf("status %d", status)
+			}
+			return fmt.Errorf("netdclient: daemon not ready: %v: %w", err, ctx.Err())
+		}
+		t := time.NewTimer(20 * time.Millisecond)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package netdclient
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRetriesRecoverFrom5xxBurst(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 3 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer srv.Close()
+
+	c := New(Config{Base: srv.URL, Retries: 5, BaseBackoff: time.Millisecond,
+		MaxBackoff: 5 * time.Millisecond, Seed: 1})
+	status, body, err := c.Get(context.Background(), "/x")
+	if err != nil || status != 200 || string(body) != `{"ok":true}` {
+		t.Fatalf("got %d %q %v, want recovered 200", status, body, err)
+	}
+	st := c.Stats()
+	if st.Served != 1 || st.Retries != 3 || st.NetErrors != 0 {
+		t.Fatalf("stats %+v: want Served=1 Retries=3", st)
+	}
+}
+
+func TestShedRequestsHonorRetryAfterThenRecover(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1") // 1s hint, capped by MaxBackoff
+			http.Error(w, "overloaded", http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	c := New(Config{Base: srv.URL, Retries: 2, BaseBackoff: time.Millisecond,
+		MaxBackoff: 20 * time.Millisecond, Seed: 2})
+	start := time.Now()
+	status, _, err := c.Get(context.Background(), "/x")
+	took := time.Since(start)
+	if err != nil || status != 200 {
+		t.Fatalf("got %d %v, want 200 after one shed", status, err)
+	}
+	if took >= time.Second {
+		t.Fatalf("Retry-After hint was not capped at MaxBackoff: took %s", took)
+	}
+	st := c.Stats()
+	if st.Shed429 != 1 || st.Shed != 0 || st.Served != 1 {
+		t.Fatalf("stats %+v: want Shed429=1 Shed=0 Served=1", st)
+	}
+}
+
+func TestExhaustedShedIsFinal429(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "overloaded", http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+	c := New(Config{Base: srv.URL, Retries: 2, BaseBackoff: time.Millisecond,
+		MaxBackoff: 2 * time.Millisecond, Seed: 3})
+	status, _, err := c.Get(context.Background(), "/x")
+	if err != nil || status != http.StatusTooManyRequests {
+		t.Fatalf("got %d %v, want final 429 with nil error", status, err)
+	}
+	st := c.Stats()
+	if st.Shed != 1 || st.Shed429 != 3 || st.Retries != 2 {
+		t.Fatalf("stats %+v: want Shed=1 Shed429=3 Retries=2", st)
+	}
+}
+
+func Test4xxIsNeverRetried(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "no such switch", http.StatusNotFound)
+	}))
+	defer srv.Close()
+	c := New(Config{Base: srv.URL, Retries: 5, Seed: 4})
+	status, _, err := c.Get(context.Background(), "/x")
+	if err != nil || status != http.StatusNotFound {
+		t.Fatalf("got %d %v, want immediate 404", status, err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("404 was retried: %d calls", calls.Load())
+	}
+	if st := c.Stats(); st.Non2xx != 1 || st.Retries != 0 {
+		t.Fatalf("stats %+v: want Non2xx=1 Retries=0", st)
+	}
+}
+
+func TestTransportErrorsExhaustToNetError(t *testing.T) {
+	// A closed server: every attempt is refused.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := srv.URL
+	srv.Close()
+	c := New(Config{Base: url, Retries: 2, BaseBackoff: time.Millisecond,
+		MaxBackoff: 2 * time.Millisecond, Seed: 5})
+	_, _, err := c.Get(context.Background(), "/x")
+	if err == nil {
+		t.Fatal("want an error from a dead server")
+	}
+	if st := c.Stats(); st.NetErrors != 1 || st.Retries != 2 {
+		t.Fatalf("stats %+v: want NetErrors=1 Retries=2", st)
+	}
+}
+
+func TestDeterministicJitter(t *testing.T) {
+	seq := func(seed uint64) []time.Duration {
+		c := New(Config{Base: "http://x", Seed: seed,
+			BaseBackoff: 10 * time.Millisecond, MaxBackoff: time.Second})
+		out := make([]time.Duration, 6)
+		for i := range out {
+			out[i] = c.backoff(i, 0)
+		}
+		return out
+	}
+	a, b := seq(42), seq(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("backoff %d differs for the same seed: %s vs %s", i, a[i], b[i])
+		}
+		lo := time.Duration(0.5 * float64(10*time.Millisecond<<uint(i)))
+		if i < 4 && (a[i] < lo/2 || a[i] > 2*time.Second) {
+			t.Fatalf("backoff %d = %s outside plausible jitter range", i, a[i])
+		}
+	}
+	if c := seq(43); c[0] == a[0] && c[1] == a[1] && c[2] == a[2] {
+		t.Fatal("different seeds produced an identical backoff prefix")
+	}
+}
+
+func TestBaseFuncRepointsMidRequest(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close()
+	alive := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer alive.Close()
+
+	var target atomic.Value
+	target.Store(dead.URL)
+	c := New(Config{BaseFunc: func() string { return target.Load().(string) },
+		Retries: 4, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond, Seed: 6})
+
+	// First attempt fails against the dead base; repoint before the retry.
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		target.Store(alive.URL)
+	}()
+	status, _, err := c.Get(context.Background(), "/x")
+	if err != nil || status != 200 {
+		t.Fatalf("got %d %v, want 200 after repointing", status, err)
+	}
+}
+
+func TestWaitReady(t *testing.T) {
+	var ready atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/readyz" || !ready.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ready"))
+	}))
+	defer srv.Close()
+	c := New(Config{Base: srv.URL, Seed: 7})
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		ready.Store(true)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel2()
+	ready.Store(false)
+	if err := New(Config{Base: srv.URL, Seed: 8}).WaitReady(ctx2); err == nil {
+		t.Fatal("WaitReady must fail when the deadline expires")
+	}
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchall lint-docs servebench paper quick verify examples faults recovery collectives fuzz clean
+.PHONY: all build test race bench benchall lint-docs servebench paper quick verify examples faults recovery collectives turns fuzz clean
 
 all: build test
 
@@ -125,6 +125,18 @@ collectives:
 		-json results/BENCH_collective.json > results/collective_sweep.txt
 	@cat results/collective_sweep.txt
 
+# The deterministic minimal prohibited-turn-set study: a 500-case oracle
+# differential (existence checker vs DFS cycle finder vs certifier vs
+# wormsim) followed by the paper-scale search sweep (128 switches, 4- and
+# 8-port, M1/M2/M3) with head-to-head simulations of each smallest found
+# set against DOWN/UP. Regenerating reproduces results/turnsearch_sweep.txt
+# and results/BENCH_turnsearch.json byte for byte.
+turns:
+	mkdir -p results
+	$(GO) run ./cmd/irturns -differential 500 \
+		-json results/BENCH_turnsearch.json > results/turnsearch_sweep.txt
+	@cat results/turnsearch_sweep.txt
+
 # Short fuzzing passes over the parsers, the simulator config surface, and
 # whole faulted runs (flit conservation under failures + reconfiguration).
 fuzz:
@@ -135,6 +147,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzRecoveryRun -fuzztime=20s ./internal/fault/
 	$(GO) test -run=^$$ -fuzz=FuzzFIBDecode -fuzztime=15s ./internal/fib/
 	$(GO) test -run=^$$ -fuzz=FuzzSnapshotDecode -fuzztime=15s ./internal/netd/
+	$(GO) test -run=^$$ -fuzz=FuzzExistenceCheck -fuzztime=30s ./internal/turnmodel/
 
 clean:
 	rm -f results/*.svg results/*.csv results/*.txt results/*.jsonl

@@ -28,7 +28,7 @@ func binaries(t *testing.T) string {
 		if buildErr != nil {
 			return
 		}
-		for _, cmd := range []string{"irtopo", "irroute", "irsim", "irexp", "irverify", "irtrace", "irfault", "irnetd", "irbench"} {
+		for _, cmd := range []string{"irtopo", "irroute", "irsim", "irexp", "irverify", "irtrace", "irfault", "irnetd", "irbench", "irturns"} {
 			out, err := exec.Command("go", "build", "-o", filepath.Join(binDir, cmd), "repro/cmd/"+cmd).CombinedOutput()
 			if err != nil {
 				buildErr = err
@@ -176,6 +176,40 @@ func TestIrverifySmoke(t *testing.T) {
 	out := run(t, "irverify", "-trials", "2", "-switches", "16", "-fixed=false")
 	if !strings.Contains(out, "0 failures") {
 		t.Fatalf("irverify output:\n%s", out)
+	}
+}
+
+func TestIrverifyExistenceJSON(t *testing.T) {
+	dir := t.TempDir()
+	jsonFile := filepath.Join(dir, "verify.json")
+	out := run(t, "irverify", "-trials", "2", "-switches", "16", "-fixed=false",
+		"-certify", "both", "-json", jsonFile)
+	if !strings.Contains(out, "0 failures") {
+		t.Fatalf("irverify output:\n%s", out)
+	}
+	data, err := os.ReadFile(jsonFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"existence_free": true`, `"existence_connected": true`, `"certified": true`, `"verified": true`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("irverify -json missing %q:\n%s", want, data)
+		}
+	}
+}
+
+func TestIrturnsSmoke(t *testing.T) {
+	args := []string{"-switches", "24", "-ports", "4", "-policies", "M1",
+		"-samples", "1", "-restarts", "3", "-warmup", "300", "-measure", "1500",
+		"-differential", "20", "-sim-every", "7"}
+	out := run(t, "irturns", args...)
+	for _, want := range []string{"0 disagreements", "smallest found sets:", "paper DOWN/UP prohibits 18 turns"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("irturns output missing %q:\n%s", want, out)
+		}
+	}
+	if again := run(t, "irturns", args...); again != out {
+		t.Fatalf("irturns output not deterministic:\n%s\n---\n%s", out, again)
 	}
 }
 

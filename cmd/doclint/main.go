@@ -12,8 +12,9 @@
 //
 // With no arguments it checks the repository's documented core:
 // internal/wormsim, internal/harness, internal/metrics, internal/traffic,
-// internal/workload, internal/chaos, internal/netdclient, and the root
-// irnet package. Exits non-zero listing every violation.
+// internal/workload, internal/chaos, internal/netdclient,
+// internal/turnsearch, and the root irnet package. Exits non-zero listing
+// every violation.
 package main
 
 import (
@@ -36,6 +37,7 @@ var defaultDirs = []string{
 	"internal/workload",
 	"internal/chaos",
 	"internal/netdclient",
+	"internal/turnsearch",
 }
 
 func main() {

@@ -1,0 +1,48 @@
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cgraph"
+	"repro/internal/turnmodel"
+)
+
+// FromMask builds a routing Function directly from an arbitrary uniform
+// allowed-turn mask over a scheme — no named algorithm involved. This is
+// how searched turn sets (internal/turnsearch) become simulatable: the
+// returned Function feeds NewTable and wormsim exactly like a DOWN/UP or
+// L-turn function does. The mask is used as given; call Verify (exact,
+// per-topology) or turnmodel.ExistenceCheck on the result before trusting
+// it, since an arbitrary mask carries no safety argument of its own.
+func FromMask(cg *cgraph.CG, scheme turnmodel.Scheme, mask turnmodel.Mask, name string) *Function {
+	if name == "" {
+		name = MaskName(scheme, mask)
+	}
+	return &Function{
+		AlgorithmName: name,
+		Sys:           turnmodel.NewSystem(cg, scheme, mask),
+	}
+}
+
+// MaskName renders a canonical human-readable identifier for a uniform
+// mask: the scheme name plus the sorted prohibited-turn list, e.g.
+// "6dir[LD>LU LD>RU]". Two equal masks always render identically, so the
+// name is usable as a stable key in reports and artifacts.
+func MaskName(scheme turnmodel.Scheme, mask turnmodel.Mask) string {
+	turns := mask.ProhibitedTurns(scheme.NumDirs())
+	sort.Slice(turns, func(i, j int) bool {
+		if turns[i].From != turns[j].From {
+			return turns[i].From < turns[j].From
+		}
+		return turns[i].To < turns[j].To
+	})
+	s := scheme.Name() + "["
+	for i, t := range turns {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s>%s", scheme.DirName(t.From), scheme.DirName(t.To))
+	}
+	return s + "]"
+}

@@ -1,0 +1,136 @@
+package turnmodel
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// maskFromBits derives a prohibited set from the low bits of a word, one
+// bit per AllTurns position — shared with the fuzz harness in
+// existence_ext_test.go so corpus entries mean the same thing everywhere.
+func maskFromBits(scheme Scheme, bits uint64) Mask {
+	all := AllTurns(scheme)
+	var prohibited []Turn
+	for i, t := range all {
+		if bits>>(uint(i)%64)&1 == 1 {
+			prohibited = append(prohibited, t)
+		}
+	}
+	return NewMask(scheme.NumDirs(), prohibited)
+}
+
+// TestExistenceMatchesFindTurnCycle is the in-package differential: the
+// Kahn peeling and the colored DFS must return the same deadlock-freedom
+// verdict on random topologies × schemes × mask densities, and every
+// witness must be independently checkable. The sweep must also actually
+// see both verdicts, or it proves nothing.
+func TestExistenceMatchesFindTurnCycle(t *testing.T) {
+	r := rng.New(42)
+	freeSeen, cyclicSeen := 0, 0
+	for trial := 0; trial < 60; trial++ {
+		cg := deriveCG(t, uint64(trial+1), 12+trial%16, 3+trial%3)
+		for _, scheme := range []Scheme{EightDir{}, SixDir{}, FourDir{}, UpDownDir{}} {
+			sys := NewSystem(cg, scheme, maskFromBits(scheme, r.Uint64()))
+			ec := ExistenceCheck(sys)
+			if got := sys.FindTurnCycle() == nil; got != ec.DeadlockFree {
+				t.Fatalf("trial %d scheme %s: DFS acyclic=%v, Kahn deadlock-free=%v",
+					trial, scheme.Name(), got, ec.DeadlockFree)
+			}
+			if err := ec.VerifyWitness(sys); err != nil {
+				t.Fatalf("trial %d scheme %s: witness: %v", trial, scheme.Name(), err)
+			}
+			if only := CheckAcyclicOnly(sys); only.DeadlockFree != ec.DeadlockFree {
+				t.Fatalf("trial %d scheme %s: CheckAcyclicOnly=%v, ExistenceCheck=%v",
+					trial, scheme.Name(), only.DeadlockFree, ec.DeadlockFree)
+			}
+			if ec.DeadlockFree {
+				freeSeen++
+				if ec.CyclicChannels != 0 || ec.Cycle != nil {
+					t.Fatalf("trial %d: deadlock-free result carries cycle diagnostics", trial)
+				}
+			} else {
+				cyclicSeen++
+				if ec.CyclicChannels <= 0 || len(ec.Cycle) < 2 {
+					t.Fatalf("trial %d: cyclic result lacks diagnostics: core=%d cycle=%v",
+						trial, ec.CyclicChannels, ec.Cycle)
+				}
+			}
+		}
+	}
+	if freeSeen == 0 || cyclicSeen == 0 {
+		t.Fatalf("sweep did not exercise both verdicts: %d free, %d cyclic", freeSeen, cyclicSeen)
+	}
+}
+
+// TestExistenceDegenerateMasks pins the two ends of the density spectrum:
+// everything prohibited is deadlock-free on any topology (only monotone
+// same-direction continuations remain), everything allowed is cyclic on
+// any topology with a physical cycle.
+func TestExistenceDegenerateMasks(t *testing.T) {
+	cg := deriveCG(t, 3, 20, 4)
+	for _, scheme := range []Scheme{EightDir{}, SixDir{}, FourDir{}, UpDownDir{}} {
+		sys := NewSystem(cg, scheme, NewMask(scheme.NumDirs(), AllTurns(scheme)))
+		if ec := ExistenceCheck(sys); !ec.DeadlockFree {
+			t.Fatalf("scheme %s: all-prohibited mask not deadlock-free", scheme.Name())
+		}
+		sys = NewSystem(cg, scheme, NewMask(scheme.NumDirs(), nil))
+		ec := ExistenceCheck(sys)
+		if ec.DeadlockFree {
+			t.Fatalf("scheme %s: all-allowed mask deadlock-free on a cyclic topology", scheme.Name())
+		}
+		if !ec.Connected {
+			t.Fatalf("scheme %s: all-allowed mask not connected", scheme.Name())
+		}
+		if err := ec.VerifyWitness(sys); err != nil {
+			t.Fatalf("scheme %s: cycle witness: %v", scheme.Name(), err)
+		}
+	}
+}
+
+// TestExistencePerNodeMasks checks the existence verdict on a System with
+// non-uniform per-node masks (DOWN/UP Phase 3 territory): releasing a turn
+// at a single node must not flip a deadlock-free configuration, and the
+// check must accept per-node configurations at all.
+func TestExistencePerNodeMasks(t *testing.T) {
+	cg := deriveCG(t, 5, 16, 4)
+	scheme := EightDir{}
+	mask, _ := GreedyMaximalADDG(cg, scheme, DownFirstPreference())
+	sys := NewSystem(cg, scheme, mask)
+	ec := ExistenceCheck(sys)
+	if !ec.DeadlockFree {
+		t.Fatal("greedy-maximal mask not deadlock-free")
+	}
+	// Release one prohibited turn at one node; re-allow it only if the DFS
+	// agrees the configuration stays acyclic, mirroring a Phase 3 release,
+	// and require the Kahn verdict to track exactly.
+	prohibited := mask.ProhibitedTurns(scheme.NumDirs())
+	if len(prohibited) == 0 {
+		t.Skip("maximal mask has no prohibitions on this topology")
+	}
+	for v := 0; v < cg.N(); v += 5 {
+		clone := sys.Clone()
+		clone.Allowed[v] = clone.Allowed[v].Allow(prohibited[0].From, prohibited[0].To)
+		if got := ExistenceCheck(clone); got.DeadlockFree != clone.Acyclic() {
+			t.Fatalf("node %d release: Kahn=%v DFS=%v", v, got.DeadlockFree, clone.Acyclic())
+		}
+	}
+}
+
+// TestExistenceDisconnected forces an unroutable pair: prohibiting every
+// turn on the two-direction up/down alphabet still routes monotone paths,
+// but on the eight-direction alphabet a pure same-direction path between
+// arbitrary pairs rarely exists, so Connected must come back false with a
+// concrete witness pair.
+func TestExistenceDisconnected(t *testing.T) {
+	cg := deriveCG(t, 7, 24, 4)
+	sys := NewSystem(cg, EightDir{}, NewMask(EightDir{}.NumDirs(), AllTurns(EightDir{})))
+	ec := ExistenceCheck(sys)
+	if ec.Connected {
+		t.Skip("all-prohibited mask happens to stay connected on this topology")
+	}
+	src, dst := ec.Disconnected[0], ec.Disconnected[1]
+	if src < 0 || dst < 0 || src == dst {
+		t.Fatalf("disconnected verdict lacks a witness pair: %v", ec.Disconnected)
+	}
+}

@@ -1,0 +1,116 @@
+package turnsearch
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/turnmodel"
+)
+
+// TestAdversaryProvesDeadlock compiles the cycle witness of the
+// all-allowed mask into packets and requires the simulator's online
+// detector to find a circular wait.
+func TestAdversaryProvesDeadlock(t *testing.T) {
+	cg := searchCG(t, 2, 16, 4)
+	scheme := turnmodel.EightDir{}
+	mask := turnmodel.NewMask(scheme.NumDirs(), nil)
+	sys := turnmodel.NewSystem(cg, scheme, mask)
+	ec := turnmodel.ExistenceCheck(sys)
+	if ec.DeadlockFree {
+		t.Fatal("all-allowed mask unexpectedly deadlock-free")
+	}
+	fn := routing.FromMask(cg, scheme, mask, "")
+	info, err := ProveDeadlock(fn, ec.Cycle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Cycle) < 2 {
+		t.Fatalf("deadlock diagnostic has no circular wait: %+v", info)
+	}
+	if info.FrozenFlits == 0 {
+		t.Fatal("deadlock with no frozen flits")
+	}
+}
+
+// TestAdversaryRejectsBadWitness pins the constructor's validation.
+func TestAdversaryRejectsBadWitness(t *testing.T) {
+	cg := searchCG(t, 2, 12, 4)
+	if _, err := NewAdversary(cg, []int{0}); err == nil {
+		t.Fatal("accepted a one-channel cycle")
+	}
+	if _, err := NewAdversary(cg, []int{0, 0}); err == nil {
+		t.Fatal("accepted a non-adjacent cycle")
+	}
+	if _, err := NewAdversary(cg, []int{-1, 5}); err == nil {
+		t.Fatal("accepted an out-of-range channel")
+	}
+}
+
+// TestCrossValidateKnownMasks runs the full triangle — both static
+// deciders, the certificate, and the simulator — over the repository's
+// proved turn sets and the two degenerate masks.
+func TestCrossValidateKnownMasks(t *testing.T) {
+	cg := searchCG(t, 6, 20, 4)
+	eight := turnmodel.EightDir{}
+	six := turnmodel.SixDir{}
+	cases := []struct {
+		name       string
+		scheme     turnmodel.Scheme
+		prohibited []turnmodel.Turn
+		wantFree   bool
+		wantCert   bool
+	}{
+		{"downup-base", eight, core.ProhibitedTurns(), true, true},
+		{"l-turn", six, routing.LTurnProhibited, true, true},
+		{"all-allowed", eight, nil, false, false},
+		{"all-prohibited", eight, turnmodel.AllTurns(eight), true, true},
+	}
+	for _, tc := range cases {
+		mask := turnmodel.NewMask(tc.scheme.NumDirs(), tc.prohibited)
+		v, err := CrossValidate(cg, tc.scheme, mask, true)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if v.DeadlockFree != tc.wantFree {
+			t.Fatalf("%s: deadlock-free=%v, want %v", tc.name, v.DeadlockFree, tc.wantFree)
+		}
+		if v.CertifierPassed != tc.wantCert {
+			t.Fatalf("%s: certified=%v, want %v", tc.name, v.CertifierPassed, tc.wantCert)
+		}
+		if !tc.wantFree && v.Deadlock == nil {
+			t.Fatalf("%s: cyclic mask produced no simulated deadlock", tc.name)
+		}
+	}
+}
+
+// TestDifferentialMatrix is the acceptance-criterion sweep: at least 500
+// random (topology, scheme, mask) cases with zero oracle disagreements,
+// simulating every eighth case so both wormsim edges (clean run, forced
+// deadlock) appear in bulk. The CI turnsearch-smoke job runs the same
+// sweep through the test binary.
+func TestDifferentialMatrix(t *testing.T) {
+	cases := 500
+	simEvery := 8
+	if testing.Short() {
+		cases, simEvery = 120, 12
+	}
+	rep, err := Differential(DifferentialOptions{Cases: cases, SimulateEvery: simEvery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cases < cases {
+		t.Fatalf("ran %d cases, want >= %d", rep.Cases, cases)
+	}
+	if rep.DeadlockFree == 0 || rep.DeadlockFree == rep.Cases {
+		t.Fatalf("one-sided sweep: %d/%d deadlock-free", rep.DeadlockFree, rep.Cases)
+	}
+	if rep.Simulated == 0 || rep.ProvedDeadlocks == 0 {
+		t.Fatalf("simulation edge not exercised: %d simulated, %d proved deadlocks",
+			rep.Simulated, rep.ProvedDeadlocks)
+	}
+	if !strings.Contains(rep.String(), "0 disagreements") {
+		t.Fatalf("report: %s", rep)
+	}
+}

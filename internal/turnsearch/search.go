@@ -1,0 +1,136 @@
+package turnsearch
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/cgraph"
+	"repro/internal/rng"
+	"repro/internal/turnmodel"
+)
+
+// Search minimizes the uniform prohibited-turn mask for cg under the exact
+// deadlock-freedom and connectivity conditions. See the package comment for
+// the algorithm; the guarantees are:
+//
+//   - Determinism: equal (cg, Options modulo Workers) give equal Results.
+//   - Exactness: every candidate turn is admitted or rejected by the
+//     channel-level dependency check on cg itself, decided independently
+//     by colored DFS and Kahn peeling (disagreement is an error).
+//   - Minimality: each candidate's prohibited set is subset-minimal —
+//     re-allowing any single prohibited turn creates a dependency cycle.
+//
+// The error return is reserved for oracle disagreement and witness
+// failures; an unlucky search that finds no connected mask returns a
+// Result with Best == nil and no error.
+func Search(cg *cgraph.CG, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	res := &Result{Candidates: make([]Candidate, opts.Restarts)}
+	evals := make([]int, opts.Restarts)
+	errs := make([]error, opts.Restarts)
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > opts.Restarts {
+		workers = opts.Restarts
+	}
+	// Static restart striding: worker w owns restarts w, w+workers, ... —
+	// no shared mutable state, so the assignment cannot affect results.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < opts.Restarts; i += workers {
+				cand, n, err := restart(cg, opts, i)
+				res.Candidates[i], evals[i], errs[i] = cand, n, err
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i := range res.Candidates {
+		res.Evaluations += evals[i]
+		c := &res.Candidates[i]
+		if !c.Connected {
+			continue
+		}
+		switch {
+		case res.Best == nil,
+			len(c.Prohibited) < len(res.Best.Prohibited),
+			len(c.Prohibited) == len(res.Best.Prohibited) &&
+				lessTurns(c.Prohibited, res.Best.Prohibited):
+			res.Best = c
+		}
+	}
+	return res, nil
+}
+
+// restart runs one greedy restoration pass and the full existence check on
+// its maximal mask.
+func restart(cg *cgraph.CG, opts Options, i int) (Candidate, int, error) {
+	order := restartOrder(opts, i)
+	allTurns := turnmodel.AllTurns(opts.Scheme)
+	sys := turnmodel.NewSystem(cg, opts.Scheme, turnmodel.NewMask(opts.Scheme.NumDirs(), allTurns))
+	evals := 0
+	for _, t := range order {
+		for v := range sys.Allowed {
+			sys.Allowed[v] = sys.Allowed[v].Allow(t.From, t.To)
+		}
+		dfsFree := sys.Acyclic()
+		kahnFree := turnmodel.CheckAcyclicOnly(sys).DeadlockFree
+		evals++
+		if dfsFree != kahnFree {
+			return Candidate{}, evals, fmt.Errorf(
+				"turnsearch: oracle disagreement on restart %d turn %s>%s: DFS says acyclic=%v, Kahn says acyclic=%v",
+				i, opts.Scheme.DirName(t.From), opts.Scheme.DirName(t.To), dfsFree, kahnFree)
+		}
+		if !dfsFree {
+			for v := range sys.Allowed {
+				sys.Allowed[v] = sys.Allowed[v].Forbid(t.From, t.To)
+			}
+		}
+	}
+	cand := Candidate{
+		Restart:    i,
+		Mask:       sys.Allowed[0],
+		Prohibited: sys.Allowed[0].ProhibitedTurns(opts.Scheme.NumDirs()),
+	}
+	sortTurns(cand.Prohibited)
+	final := turnmodel.ExistenceCheck(sys)
+	if !final.DeadlockFree {
+		return Candidate{}, evals, fmt.Errorf(
+			"turnsearch: restart %d final mask fails the existence check its candidates passed", i)
+	}
+	if err := final.VerifyWitness(sys); err != nil {
+		return Candidate{}, evals, fmt.Errorf("turnsearch: restart %d witness: %w", i, err)
+	}
+	cand.Connected = final.Connected
+	return cand, evals, nil
+}
+
+// restartOrder returns restart i's turn-restoration preference: the
+// down-first order for restart 0 on the eight-direction scheme (the
+// paper's Phase 2 philosophy, so the deterministic pass lands near the
+// hand-derived design), the plain lexicographic order for restart 0 on
+// other schemes, and a seeded shuffle otherwise.
+func restartOrder(opts Options, i int) []turnmodel.Turn {
+	if i == 0 {
+		if _, ok := opts.Scheme.(turnmodel.EightDir); ok {
+			return turnmodel.DownFirstPreference()
+		}
+		return turnmodel.AllTurns(opts.Scheme)
+	}
+	order := turnmodel.AllTurns(opts.Scheme)
+	r := rng.New(opts.Seed ^ (uint64(i) * 0x9E3779B97F4A7C15))
+	r.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+	return order
+}

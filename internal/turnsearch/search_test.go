@@ -1,0 +1,142 @@
+package turnsearch
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cgraph"
+	"repro/internal/ctree"
+	"repro/internal/rng"
+	"repro/internal/topology"
+	"repro/internal/turnmodel"
+)
+
+func searchCG(tb testing.TB, seed uint64, switches, ports int) *cgraph.CG {
+	tb.Helper()
+	g, err := topology.RandomIrregular(topology.IrregularConfig{Switches: switches, Ports: ports}, rng.New(seed))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tr, err := ctree.Build(g, ctree.M1, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return cgraph.Build(tr)
+}
+
+// TestSearchWorkerInvariance is the PR 6 Workers contract applied to the
+// search: the full Result — every candidate, the winner, the evaluation
+// count — must be identical at every worker count.
+func TestSearchWorkerInvariance(t *testing.T) {
+	cg := searchCG(t, 1, 32, 4)
+	opts := Options{Restarts: 9, Seed: 5}
+	var base *Result
+	for _, workers := range []int{1, 2, 4, 8} {
+		opts.Workers = workers
+		res, err := Search(cg, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		if !reflect.DeepEqual(base, res) {
+			t.Fatalf("workers=%d: result differs from workers=1", workers)
+		}
+	}
+	if base.Best == nil {
+		t.Fatal("search found no connected mask")
+	}
+}
+
+// TestSearchSubsetMinimal is the minimality property the greedy
+// construction promises: re-allowing any single prohibited turn of any
+// candidate must create a dependency cycle (checked by both exact
+// deciders), i.e. no candidate's prohibited set has a legal proper subset
+// missing just one element.
+func TestSearchSubsetMinimal(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		cg := searchCG(t, uint64(trial+2), 16+trial*6, 4)
+		res, err := Search(cg, Options{Restarts: 5, Seed: uint64(trial + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cand := range res.Candidates {
+			sys := turnmodel.NewSystem(cg, turnmodel.EightDir{}, cand.Mask)
+			if !sys.Acyclic() {
+				t.Fatalf("trial %d restart %d: candidate mask not acyclic", trial, cand.Restart)
+			}
+			for _, pt := range cand.Prohibited {
+				relaxed := turnmodel.NewSystem(cg, turnmodel.EightDir{}, cand.Mask.Allow(pt.From, pt.To))
+				dfs := relaxed.Acyclic()
+				kahn := turnmodel.CheckAcyclicOnly(relaxed).DeadlockFree
+				if dfs != kahn {
+					t.Fatalf("trial %d: decider disagreement relaxing %v", trial, pt)
+				}
+				if dfs {
+					t.Fatalf("trial %d restart %d: prohibited turn %s>%s can be allowed — set not subset-minimal",
+						trial, cand.Restart, turnmodel.EightDir{}.DirName(pt.From), turnmodel.EightDir{}.DirName(pt.To))
+				}
+			}
+		}
+	}
+}
+
+// TestSearchDeterministic pins byte determinism: two runs with equal
+// options produce deeply equal results.
+func TestSearchDeterministic(t *testing.T) {
+	cg := searchCG(t, 3, 24, 4)
+	a, err := Search(cg, Options{Restarts: 6, Seed: 2, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(cg, Options{Restarts: 6, Seed: 2, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two identically-seeded searches differ")
+	}
+}
+
+// TestSearchBeatsPaperSet is the headline acceptance property: at the
+// paper's own scale (128 switches) the searched per-topology prohibited
+// set must be strictly smaller than the paper's hand-derived 18 turns,
+// on both port counts.
+func TestSearchBeatsPaperSet(t *testing.T) {
+	for _, ports := range []int{4, 8} {
+		cg := searchCG(t, 1, 128, ports)
+		res, err := Search(cg, Options{Restarts: 8, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Best == nil {
+			t.Fatalf("ports=%d: no connected mask found", ports)
+		}
+		if got := len(res.Best.Prohibited); got >= 18 {
+			t.Fatalf("ports=%d: minimal prohibited set has %d turns, want < 18 (paper's hand-derived set)", ports, got)
+		}
+		// The winner must hold up under the full existence check.
+		ec := turnmodel.ExistenceCheck(turnmodel.NewSystem(cg, turnmodel.EightDir{}, res.Best.Mask))
+		if !ec.Exists() {
+			t.Fatalf("ports=%d: winning mask fails the existence check", ports)
+		}
+	}
+}
+
+// TestSearchSixDir exercises the non-default scheme path (restart 0 falls
+// back to the lexicographic order).
+func TestSearchSixDir(t *testing.T) {
+	cg := searchCG(t, 4, 24, 4)
+	res, err := Search(cg, Options{Scheme: turnmodel.SixDir{}, Restarts: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("six-direction search found no connected mask")
+	}
+	if got, bound := len(res.Best.Prohibited), len(turnmodel.AllTurns(turnmodel.SixDir{})); got >= bound {
+		t.Fatalf("six-direction search prohibited everything (%d of %d)", got, bound)
+	}
+}

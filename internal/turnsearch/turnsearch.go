@@ -1,0 +1,140 @@
+// Package turnsearch finds minimal prohibited-turn sets automatically. The
+// paper hand-derives one set of 18 prohibited turns for the eight-direction
+// alphabet and proves it deadlock-free once, for every topology; this
+// package inverts the exercise. Given a concrete communication graph it
+// searches the space of uniform turn masks for one that is deadlock-free
+// AND fully connected on that graph while prohibiting as few turns as
+// possible — trading the paper's universal proof for per-topology
+// optimality, with turnmodel.ExistenceCheck (the necessary-and-sufficient
+// condition on the channel dependency graph) as the exact per-candidate
+// gate.
+//
+// The engine is greedy turn restoration: start from the everything-
+// prohibited mask (only same-direction continuations allowed, acyclic for
+// every scheme in this repository) and restore turns one at a time in a
+// preference order, keeping each turn iff the channel dependency graph
+// stays acyclic. The result is a maximal allowed set, so its complement is
+// a subset-minimal prohibited set: a rejected turn created a cycle against
+// a subset of the final allowed turns, and cycles never disappear as more
+// turns are allowed. Restart 0 uses the paper-flavoured down-first
+// preference; further restarts shuffle the order with seeded RNG streams
+// and run in parallel across a worker pool, with the winner picked by a
+// deterministic total order (fewest prohibitions, then lexicographic turn
+// list, then restart index) so results never depend on scheduling.
+//
+// Every candidate is checked by two algorithmically independent exact
+// deciders — the colored-DFS cycle finder (System.FindTurnCycle) and the
+// Kahn peeling (turnmodel.CheckAcyclicOnly) — and any disagreement aborts
+// the search: the search doubles as a continuous differential test of the
+// deadlock-freedom machinery. The third oracle, wormsim's online wait-for-
+// graph detector, closes the triangle in this package's Adversary: a mask
+// rejected for a dependency cycle is compiled into a concrete workload
+// that provably deadlocks a simulated network (see adversary.go and
+// oracle.go).
+package turnsearch
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/turnmodel"
+)
+
+// Options configures a Search run.
+type Options struct {
+	// Scheme is the direction alphabet to search over (default
+	// turnmodel.EightDir).
+	Scheme turnmodel.Scheme
+	// Restarts is the number of greedy passes: restart 0 uses the
+	// deterministic down-first preference order, restarts 1..Restarts-1
+	// use seeded shuffles of the full turn list (default 16).
+	Restarts int
+	// Seed drives the shuffled restarts (default 1). Two runs with equal
+	// Options are byte-identical regardless of Workers.
+	Seed uint64
+	// Workers bounds the parallel candidate evaluation; 0 means
+	// GOMAXPROCS. Results never depend on it (PR 6's Workers contract).
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scheme == nil {
+		o.Scheme = turnmodel.EightDir{}
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 16
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Candidate is the outcome of one greedy restart: a maximal allowed mask
+// and the verdict of the full existence check on it.
+type Candidate struct {
+	// Restart is the pass index that produced this candidate (0 =
+	// down-first preference, >0 = seeded shuffle).
+	Restart int
+	// Mask is the uniform allowed-turn mask (maximal: no single further
+	// turn can be allowed without creating a dependency cycle).
+	Mask turnmodel.Mask
+	// Prohibited lists the prohibited distinct-direction turns, sorted by
+	// (From, To). len(Prohibited) is the quantity the search minimizes.
+	Prohibited []turnmodel.Turn
+	// Connected reports whether the mask routes every ordered node pair.
+	// A maximal-but-disconnected candidate is legal output of a restart
+	// but never wins.
+	Connected bool
+}
+
+// Result is the outcome of a Search: every restart's candidate plus the
+// deterministic winner.
+type Result struct {
+	// Best is the winning candidate: connected, fewest prohibited turns,
+	// ties broken by lexicographic turn list then restart index. Nil iff
+	// no restart produced a connected mask.
+	Best *Candidate
+	// Candidates holds one entry per restart, indexed by restart.
+	Candidates []Candidate
+	// Evaluations counts exact acyclicity decisions performed (two
+	// independent algorithms each, per candidate turn).
+	Evaluations int
+}
+
+// sortTurns orders a turn list by (From, To), the canonical rendering.
+func sortTurns(ts []turnmodel.Turn) {
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].From != ts[j].From {
+			return ts[i].From < ts[j].From
+		}
+		return ts[i].To < ts[j].To
+	})
+}
+
+// lessTurns is the lexicographic order on sorted turn lists used for
+// deterministic tie-breaking between equally small candidates.
+func lessTurns(a, b []turnmodel.Turn) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			if a[i].From != b[i].From {
+				return a[i].From < b[i].From
+			}
+			return a[i].To < b[i].To
+		}
+	}
+	return len(a) < len(b)
+}
+
+// FormatTurns renders a sorted turn list in the scheme's direction names,
+// e.g. "LD>LU LD>RU".
+func FormatTurns(scheme turnmodel.Scheme, ts []turnmodel.Turn) string {
+	s := ""
+	for i, t := range ts {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s>%s", scheme.DirName(t.From), scheme.DirName(t.To))
+	}
+	return s
+}

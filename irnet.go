@@ -33,6 +33,8 @@ import (
 	"repro/internal/routing"
 	"repro/internal/topology"
 	"repro/internal/traffic"
+	"repro/internal/turnmodel"
+	"repro/internal/turnsearch"
 	"repro/internal/workload"
 	"repro/internal/wormsim"
 )
@@ -515,3 +517,98 @@ type SkipRecord = harness.SkipRecord
 // FormatSkipped renders the skipped section of a KeepGoing evaluation
 // (empty string when nothing was skipped).
 func FormatSkipped(res *EvalResults) string { return harness.FormatSkipped(res) }
+
+// Turn-set search and routing-existence types (see internal/turnsearch and
+// the existence checker in internal/turnmodel).
+type (
+	// ExistenceResult is the verdict and witness of the routing-existence
+	// check (deadlock freedom via the channel dependency graph, plus
+	// all-pairs connectivity).
+	ExistenceResult = turnmodel.ExistenceResult
+	// TurnSearchOptions configures one minimal-turn-set search.
+	TurnSearchOptions = turnsearch.Options
+	// TurnSearchResult is a search outcome: all restart candidates plus
+	// the deterministic winner.
+	TurnSearchResult = turnsearch.Result
+	// TurnSetCandidate is one restart's maximal allowed mask.
+	TurnSetCandidate = turnsearch.Candidate
+	// TurnDifferentialOptions configures an oracle-agreement sweep.
+	TurnDifferentialOptions = turnsearch.DifferentialOptions
+	// TurnDifferentialReport aggregates an oracle-agreement sweep.
+	TurnDifferentialReport = turnsearch.DifferentialReport
+	// TurnSearchStudyOptions configures the minimal-turn-set study.
+	TurnSearchStudyOptions = harness.TurnSearchOptions
+	// TurnSearchStudyResults is the study output behind
+	// results/turnsearch_sweep.txt and results/BENCH_turnsearch.json.
+	TurnSearchStudyResults = harness.TurnSearchResults
+)
+
+// ExistenceCheck decides whether the routing function's turn configuration
+// admits a deadlock-free, fully connected routing on its topology,
+// returning an auditable witness either way. It is exact (necessary and
+// sufficient) where CertifyBase is sufficient-only.
+func ExistenceCheck(f *RoutingFunction) *ExistenceResult {
+	return turnmodel.ExistenceCheck(f.Sys)
+}
+
+// SearchTurnSets finds a subset-minimal prohibited-turn set for the
+// communication graph: deadlock-free, fully connected, and as few
+// prohibitions as the greedy restarts manage (deterministic in the
+// options; Workers never changes the result).
+func SearchTurnSets(cg *CommGraph, opts TurnSearchOptions) (*TurnSearchResult, error) {
+	return turnsearch.Search(cg, opts)
+}
+
+// RoutingFromTurnSet turns a searched (or hand-written) candidate mask
+// into a simulatable routing function. Verify it before simulating.
+func RoutingFromTurnSet(cg *CommGraph, c *TurnSetCandidate) *RoutingFunction {
+	return routing.FromMask(cg, turnmodel.EightDir{}, c.Mask, "")
+}
+
+// VerifyExistenceWitness runs ExistenceCheck on the routing function and
+// independently re-validates the witness it returns (the channel escape
+// order when deadlock-free, the dependency cycle otherwise), so a verdict
+// never has to be taken on faith.
+func VerifyExistenceWitness(f *RoutingFunction) error {
+	return turnmodel.ExistenceCheck(f.Sys).VerifyWitness(f.Sys)
+}
+
+// ProveTurnDeadlock compiles a dependency-cycle witness (ExistenceCheck's
+// Cycle field) into an adversarial workload and runs it against the
+// routing function in the simulator until the online wait-for-graph
+// detector fires, returning its structured diagnostic. An error means the
+// workload completed instead — a genuine disagreement between the static
+// and dynamic oracles that the caller must surface.
+func ProveTurnDeadlock(f *RoutingFunction, cycle []int) (*DeadlockInfo, error) {
+	return turnsearch.ProveDeadlock(f, cycle)
+}
+
+// TurnDifferential cross-validates the existence checker, the DFS cycle
+// finder, the stratification certifier, and (sampled) wormsim over a
+// matrix of random configurations, erroring on the first disagreement.
+func TurnDifferential(opts TurnDifferentialOptions) (*TurnDifferentialReport, error) {
+	return turnsearch.Differential(opts)
+}
+
+// DefaultTurnSearchStudyOptions returns the paper-scale sweep behind
+// `make turns` (128 switches, 4/8-port, M1/M2/M3).
+func DefaultTurnSearchStudyOptions() TurnSearchStudyOptions {
+	return harness.DefaultTurnSearchOptions()
+}
+
+// QuickTurnSearchStudyOptions returns a scaled-down sweep for smoke tests.
+func QuickTurnSearchStudyOptions() TurnSearchStudyOptions {
+	return harness.QuickTurnSearchOptions()
+}
+
+// RunTurnSearchStudy searches minimal turn sets per (ports, policy)
+// combination and simulates them head-to-head against DOWN/UP.
+func RunTurnSearchStudy(opts TurnSearchStudyOptions) (*TurnSearchStudyResults, error) {
+	return harness.TurnSearchStudy(opts)
+}
+
+// FormatTurnSearch renders a turn-search study as text.
+func FormatTurnSearch(r *TurnSearchStudyResults) string { return harness.FormatTurnSearch(r) }
+
+// TurnSearchJSON renders a turn-search study as deterministic JSON.
+func TurnSearchJSON(r *TurnSearchStudyResults) ([]byte, error) { return harness.TurnSearchJSON(r) }

@@ -1,18 +1,31 @@
-# Convenience targets for the irnet repository.
+# Convenience targets for the irnet repository. `make help` lists them.
 
 GO ?= go
 
-.PHONY: all build test race bench benchall lint-docs servebench paper quick verify examples faults recovery collectives turns fuzz clean
+.PHONY: all help build test race bench benchall lint-docs servebench serve-smoke trend trend-record paper quick verify examples faults recovery collectives turns fuzz clean
 
+# Build, vet, and test everything.
 all: build test
 
+# Self-documenting target list: prints every target whose comment line
+# directly precedes it, in file order.
+help:
+	@awk '/^[a-z][a-z-]*:/ { \
+		target = substr($$1, 1, length($$1)-1); \
+		printf "  %-12s %s\n", target, doc; doc = "" } \
+		/^# / { doc = (doc == "" ? substr($$0, 3) : doc) } \
+		/^$$/ { doc = "" }' Makefile
+
+# Compile and vet every package.
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
+# Tier-1 test suite.
 test:
 	$(GO) test ./...
 
+# Tier-1 test suite under the race detector.
 race:
 	$(GO) test -race ./...
 
@@ -35,6 +48,30 @@ benchall:
 # carry a doc comment (see cmd/doclint).
 lint-docs:
 	$(GO) run ./cmd/doclint
+
+# Co-simulation smoke: replay a canonical session through irserve -stdio on
+# the event and parallel engines and require byte-identical replies — the
+# transport/engine determinism contract of docs/COSIM.md, end to end.
+serve-smoke:
+	mkdir -p results/.bin
+	$(GO) build -o results/.bin/irserve ./cmd/irserve
+	@set -e; \
+	script='{"type":"hello","hello":{"v":1}}\n{"type":"query","id":1,"op":"advance","query":{"cycles":500}}\n{"type":"query","id":2,"op":"latency","query":{"src":0,"dst":17,"bytes":256}}\n{"type":"query","id":3,"op":"stats"}\n{"type":"query","id":4,"op":"bye"}'; \
+	printf "$$script\n" | results/.bin/irserve -stdio -switches 24 -seed 7 -engine event > results/.bin/cosim_event.out; \
+	printf "$$script\n" | results/.bin/irserve -stdio -switches 24 -seed 7 -engine parallel -workers 4 > results/.bin/cosim_par.out; \
+	cmp results/.bin/cosim_event.out results/.bin/cosim_par.out; \
+	echo "serve-smoke: engines byte-identical over stdio"
+
+# Cross-PR perf-regression gate: normalize the four results/BENCH_*.json
+# artifacts, check them against the accumulated floors/ceilings, and diff
+# against results/TREND.jsonl history. Exits nonzero on any regression.
+# `make trend-record LABEL=prN` appends the current numbers to the history.
+trend:
+	$(GO) run ./cmd/irtrend -results results -trend results/TREND.jsonl
+
+# Append the current benchmark numbers to the history: make trend-record LABEL=prN
+trend-record:
+	$(GO) run ./cmd/irtrend -results results -trend results/TREND.jsonl -record -label $(LABEL)
 
 # Serving benchmark: start irnetd with crash-safe snapshot persistence at
 # the paper topology scale (128 switches, 4 ports), measure a steady phase
@@ -81,6 +118,7 @@ paper:
 		-checkpoint results/paper_checkpoint.jsonl \
 		-csv results/paper_results.csv -svg results > results/paper_output.txt
 
+# Quick-scale version of the full evaluation (seconds, not hours).
 quick:
 	$(GO) run ./cmd/irexp -exp all -scale quick
 
@@ -88,6 +126,7 @@ quick:
 verify:
 	$(GO) run ./cmd/irverify -trials 100 -switches 64 -ports 4
 
+# Run every examples/ program.
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/cluster
@@ -148,6 +187,9 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzFIBDecode -fuzztime=15s ./internal/fib/
 	$(GO) test -run=^$$ -fuzz=FuzzSnapshotDecode -fuzztime=15s ./internal/netd/
 	$(GO) test -run=^$$ -fuzz=FuzzExistenceCheck -fuzztime=30s ./internal/turnmodel/
+	$(GO) test -run=^$$ -fuzz=FuzzFrameDecode -fuzztime=15s ./internal/cosim/
 
+# Removes regenerable outputs. results/TREND.jsonl is append-only history,
+# not a regenerable artifact, so clean leaves it alone.
 clean:
-	rm -f results/*.svg results/*.csv results/*.txt results/*.jsonl
+	rm -f results/*.svg results/*.csv results/*.txt results/paper_checkpoint.jsonl

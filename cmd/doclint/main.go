@@ -13,7 +13,8 @@
 // With no arguments it checks the repository's documented core:
 // internal/wormsim, internal/harness, internal/metrics, internal/traffic,
 // internal/workload, internal/chaos, internal/netdclient,
-// internal/turnsearch, and the root irnet package. Exits non-zero listing
+// internal/turnsearch, internal/cosim, internal/trend, and the root irnet
+// package. Exits non-zero listing
 // every violation.
 package main
 
@@ -38,6 +39,8 @@ var defaultDirs = []string{
 	"internal/chaos",
 	"internal/netdclient",
 	"internal/turnsearch",
+	"internal/cosim",
+	"internal/trend",
 }
 
 func main() {

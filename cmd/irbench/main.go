@@ -42,6 +42,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/netdclient"
 	"repro/internal/rng"
+	"repro/internal/trend"
 )
 
 type latencyReport struct {
@@ -54,6 +55,7 @@ type latencyReport struct {
 }
 
 type report struct {
+	Schema               int           `json:"schema"` // artifact schema version (trend.Schema)
 	Bench                string        `json:"bench"`
 	Mode                 string        `json:"mode"`
 	Endpoint             string        `json:"endpoint"`
@@ -268,6 +270,7 @@ func main() {
 		reconfigDelta = snEnd.Version - snStart.Version
 	}
 	rep := report{
+		Schema:               trend.Schema,
 		Bench:                "irnetd",
 		Mode:                 *mode,
 		Endpoint:             *endpoint,
@@ -345,6 +348,7 @@ func mergeReport(path string, rep report) error {
 		return err
 	}
 	doc["bench"], _ = json.Marshal("irnetd")
+	doc["schema"], _ = json.Marshal(trend.Schema)
 	doc[rep.Mode] = entry
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -36,6 +36,7 @@ import (
 
 	irnet "repro"
 	"repro/internal/cliutil"
+	"repro/internal/trend"
 )
 
 // engineStats is one engine's measurement at one configuration.
@@ -59,6 +60,7 @@ type configReport struct {
 
 // report is the whole BENCH_wormsim.json document.
 type report struct {
+	Schema       int            `json:"schema"` // artifact schema version (trend.Schema)
 	Tool         string         `json:"tool"`
 	GoVersion    string         `json:"go_version"`
 	Cores        int            `json:"cores"` // GOMAXPROCS of the measuring host
@@ -99,6 +101,7 @@ func main() {
 	}
 
 	rep := report{
+		Schema:       trend.Schema,
 		Tool:         "irperf",
 		GoVersion:    runtime.Version(),
 		Cores:        runtime.GOMAXPROCS(0),

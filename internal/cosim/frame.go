@@ -1,0 +1,171 @@
+package cosim
+
+// Frame grammar and codec. One frame is one JSON object on one
+// LF-terminated line; the nested sections (hello/query/latency/state) are
+// present exactly when the frame type and op call for them, so a reply's
+// numeric fields are always explicit — no zero-vs-absent ambiguity on the
+// server side. Marshal is deterministic (fixed field order, no maps),
+// which is what makes transport byte-identity a meaningful contract.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Frame is one protocol message of any type; see the type and op
+// constants and docs/COSIM.md for which sections each combination
+// carries.
+type Frame struct {
+	// Type is the frame type: hello, query, reply, or error.
+	Type string `json:"type"`
+	// ID correlates a query with its reply or error; client-chosen,
+	// positive. Zero on hello frames and on errors about undecodable
+	// lines.
+	ID int64 `json:"id,omitempty"`
+	// Op is the query operation, echoed on the reply.
+	Op string `json:"op,omitempty"`
+	// Hello carries the session parameters (hello frames).
+	Hello *Hello `json:"hello,omitempty"`
+	// Query carries the request parameters (query frames).
+	Query *Query `json:"query,omitempty"`
+	// Latency carries an OpLatency result (reply frames).
+	Latency *LatencyReply `json:"latency,omitempty"`
+	// State carries an OpAdvance/OpStats result (reply frames).
+	State *StateReply `json:"state,omitempty"`
+	// Code is the machine-readable error code (error frames).
+	Code string `json:"code,omitempty"`
+	// Msg is the human-readable error detail (error frames).
+	Msg string `json:"msg,omitempty"`
+}
+
+// Hello is the session-parameter section. The server fills every field;
+// a client hello needs only V.
+type Hello struct {
+	// V is the protocol version the sender speaks.
+	V int `json:"v"`
+	// Seed is the simulation seed the oracle runs under (server only).
+	Seed uint64 `json:"seed,omitempty"`
+	// Fingerprint identifies the served network and oracle configuration:
+	// equal fingerprints guarantee equal replies to equal frame
+	// sequences (server only).
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Cycle is the simulator clock at hello time (server only; omitted
+	// when zero, i.e. on a fresh session).
+	Cycle int `json:"cycle,omitempty"`
+}
+
+// Query is the request-parameter section. Absent fields decode as zero.
+type Query struct {
+	// Src and Dst are the transfer endpoints (OpLatency).
+	Src int `json:"src,omitempty"`
+	Dst int `json:"dst,omitempty"`
+	// Bytes is the transfer size (OpLatency); the oracle converts it to
+	// flits at its configured flit width, minimum one flit.
+	Bytes int `json:"bytes,omitempty"`
+	// Cycles is the number of cycles to advance (OpAdvance).
+	Cycles int `json:"cycles,omitempty"`
+}
+
+// LatencyReply is an OpLatency result: the probe's measured timing under
+// the background load it contended with.
+type LatencyReply struct {
+	// Cycle is the simulator clock after the query: exactly the probe's
+	// delivery cycle.
+	Cycle int `json:"cycle"`
+	// Probe is the oracle-assigned probe id (monotonic per session).
+	Probe int64 `json:"probe"`
+	// Flits is the probe's packet length after byte→flit conversion.
+	Flits int `json:"flits"`
+	// Hops is the number of switch-to-switch channels the header crossed.
+	Hops int `json:"hops"`
+	// Latency is creation→tail-delivery in cycles (source queueing
+	// included — the paper's message-latency definition).
+	Latency int `json:"latency"`
+	// NetworkLatency is injection→tail-delivery in cycles (source
+	// queueing excluded).
+	NetworkLatency int `json:"network_latency"`
+}
+
+// StateReply is an OpAdvance/OpStats result: the live whole-run counters.
+type StateReply struct {
+	// Cycle is the simulator clock after the query.
+	Cycle int `json:"cycle"`
+	// InFlight is the number of flits currently inside the network.
+	InFlight int `json:"in_flight"`
+	// FlitsInjected counts every flit placed on an injection channel.
+	FlitsInjected int64 `json:"flits_injected"`
+	// FlitsDelivered counts every flit consumed by a destination.
+	FlitsDelivered int64 `json:"flits_delivered"`
+	// PacketsUnroutable counts packets dropped at the source for lack of
+	// a route (possible only after faults).
+	PacketsUnroutable int `json:"packets_unroutable"`
+	// DeadlocksRecovered counts wait-for cycles broken by online
+	// recovery.
+	DeadlocksRecovered int `json:"deadlocks_recovered"`
+}
+
+// Marshal encodes one frame as its wire form: a single JSON line,
+// newline-terminated.
+func Marshal(f *Frame) ([]byte, error) {
+	buf, err := json.Marshal(f)
+	if err != nil {
+		return nil, fmt.Errorf("cosim: marshal %s frame: %w", f.Type, err)
+	}
+	if len(buf)+1 > MaxFrameBytes {
+		return nil, fmt.Errorf("cosim: %s frame encodes to %d bytes, limit %d", f.Type, len(buf)+1, MaxFrameBytes)
+	}
+	return append(buf, '\n'), nil
+}
+
+// Decode parses one wire line into a frame, enforcing the structural
+// rules of the grammar: size bound, a single JSON object per line (a
+// trailing newline is tolerated), a known type, and the per-type required
+// fields. Unknown JSON fields are ignored — that is how fields are added
+// within a protocol version. Semantic validation (node ranges, op
+// existence) is the oracle's job, so a structurally sound frame for an
+// unknown op decodes fine and earns ErrCodeBadOp instead.
+func Decode(line []byte) (*Frame, error) {
+	if len(line) > MaxFrameBytes {
+		return nil, fmt.Errorf("cosim: frame of %d bytes exceeds the %d-byte limit", len(line), MaxFrameBytes)
+	}
+	line = bytes.TrimSuffix(line, []byte("\n"))
+	line = bytes.TrimSuffix(line, []byte("\r"))
+	if len(bytes.TrimSpace(line)) == 0 {
+		return nil, fmt.Errorf("cosim: empty frame")
+	}
+	dec := json.NewDecoder(bytes.NewReader(line))
+	var f Frame
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("cosim: malformed frame: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("cosim: trailing data after frame object")
+	}
+	switch f.Type {
+	case TypeHello:
+		if f.Hello == nil {
+			return nil, fmt.Errorf("cosim: hello frame missing hello section")
+		}
+	case TypeQuery:
+		if f.ID <= 0 {
+			return nil, fmt.Errorf("cosim: query frame needs a positive id, got %d", f.ID)
+		}
+		if f.Op == "" {
+			return nil, fmt.Errorf("cosim: query frame missing op")
+		}
+	case TypeReply:
+		if f.ID <= 0 || f.Op == "" {
+			return nil, fmt.Errorf("cosim: reply frame needs a positive id and an op")
+		}
+	case TypeError:
+		if f.Code == "" {
+			return nil, fmt.Errorf("cosim: error frame missing code")
+		}
+	case "":
+		return nil, fmt.Errorf("cosim: frame missing type")
+	default:
+		return nil, fmt.Errorf("cosim: unknown frame type %q", f.Type)
+	}
+	return &f, nil
+}

@@ -1,0 +1,95 @@
+package cosim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFrameRoundTrip marshals one frame of every type and decodes it back.
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []*Frame{
+		{Type: TypeHello, Hello: &Hello{V: 1, Seed: 42, Fingerprint: "deadbeef", Cycle: 7}},
+		{Type: TypeHello, Hello: &Hello{V: 1}},
+		{Type: TypeQuery, ID: 3, Op: OpLatency, Query: &Query{Src: 1, Dst: 9, Bytes: 256}},
+		{Type: TypeQuery, ID: 4, Op: OpAdvance, Query: &Query{Cycles: 100}},
+		{Type: TypeQuery, ID: 5, Op: OpStats},
+		{Type: TypeReply, ID: 3, Op: OpLatency, Latency: &LatencyReply{Cycle: 10, Probe: 0, Flits: 64, Hops: 3, Latency: 71, NetworkLatency: 70}},
+		{Type: TypeReply, ID: 4, Op: OpAdvance, State: &StateReply{Cycle: 100, InFlight: 5}},
+		{Type: TypeError, ID: 9, Code: ErrCodeBadQuery, Msg: "src 3 equals dst"},
+		{Type: TypeError, Code: ErrCodeBadFrame, Msg: "malformed"},
+	}
+	for i, f := range frames {
+		buf, err := Marshal(f)
+		if err != nil {
+			t.Fatalf("frame %d: marshal: %v", i, err)
+		}
+		if buf[len(buf)-1] != '\n' {
+			t.Fatalf("frame %d: no trailing newline", i)
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("frame %d: decode: %v", i, err)
+		}
+		// Re-marshal and compare bytes: the codec must be a fixed point.
+		buf2, err := Marshal(got)
+		if err != nil {
+			t.Fatalf("frame %d: re-marshal: %v", i, err)
+		}
+		if string(buf) != string(buf2) {
+			t.Fatalf("frame %d: round trip changed bytes:\n%s%s", i, buf, buf2)
+		}
+	}
+}
+
+// TestDecodeRejectsMalformed covers every structural refusal of the
+// grammar.
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":              "",
+		"blank":              "   \n",
+		"not-json":           "latency 0 9\n",
+		"truncated":          `{"type":"query","id":1`,
+		"trailing-data":      `{"type":"hello","hello":{"v":1}} {"x":1}`,
+		"two-objects":        `{"type":"hello","hello":{"v":1}}{"type":"hello","hello":{"v":1}}`,
+		"missing-type":       `{"id":1,"op":"latency"}`,
+		"unknown-type":       `{"type":"telemetry","id":1}`,
+		"hello-no-section":   `{"type":"hello"}`,
+		"query-no-id":        `{"type":"query","op":"latency"}`,
+		"query-negative-id":  `{"type":"query","id":-2,"op":"latency"}`,
+		"query-no-op":        `{"type":"query","id":1}`,
+		"reply-no-id":        `{"type":"reply","op":"latency"}`,
+		"error-no-code":      `{"type":"error","msg":"boom"}`,
+		"type-wrong-kind":    `{"type":7}`,
+		"id-wrong-kind":      `{"type":"query","id":"one","op":"stats"}`,
+		"query-array":        `[{"type":"query","id":1,"op":"stats"}]`,
+		"oversized":          `{"type":"query","id":1,"op":"stats","pad":"` + strings.Repeat("x", MaxFrameBytes) + `"}`,
+		"section-wrong-kind": `{"type":"query","id":1,"op":"latency","query":[1,2]}`,
+	}
+	for name, line := range cases {
+		if _, err := Decode([]byte(line)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+// TestDecodeForwardCompat: unknown fields are ignored (that is how fields
+// are added within a protocol version), and CRLF line endings are
+// tolerated.
+func TestDecodeForwardCompat(t *testing.T) {
+	f, err := Decode([]byte(`{"type":"query","id":1,"op":"stats","future_field":{"a":1}}` + "\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Op != OpStats || f.ID != 1 {
+		t.Fatalf("decoded %+v", f)
+	}
+}
+
+// TestMarshalRejectsOversized: a frame that would encode past the limit is
+// refused at the source rather than emitted as an unsynchronizable line.
+func TestMarshalRejectsOversized(t *testing.T) {
+	f := &Frame{Type: TypeError, ID: 1, Code: ErrCodeBadFrame, Msg: strings.Repeat("x", MaxFrameBytes)}
+	if _, err := Marshal(f); err == nil {
+		t.Fatal("oversized frame marshaled")
+	}
+}

@@ -1,0 +1,48 @@
+package cosim
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzFrameDecode drives arbitrary bytes through the frame codec. The
+// invariants: Decode never panics; anything it accepts re-marshals within
+// the size limit and survives a second decode/marshal as a byte-for-byte
+// fixed point (otherwise two peers could disagree about what was said).
+func FuzzFrameDecode(f *testing.F) {
+	for _, line := range script() {
+		f.Add([]byte(line))
+	}
+	f.Add([]byte(`{"type":"hello","hello":{"v":1,"seed":7,"fingerprint":"deadbeef","cycle":3}}`))
+	f.Add([]byte(`{"type":"error","id":4,"code":"bad-query","msg":"src out of range"}`))
+	f.Add([]byte(`{"type":"reply","id":2,"op":"latency","latency":{"cycle":373,"probe":0,"flits":64,"hops":3,"latency":73,"network_latency":72}}`))
+	f.Add([]byte(`{"type":"query","id":1,"op":"stats","future":{"a":[1,2]}}`))
+	f.Add([]byte("{\"type\":\"query\",\"id\":1,\"op\":\"stats\"}\r\n"))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"type":7}`))
+	f.Add([]byte(strings.Repeat("{", 2000)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := Decode(data)
+		if err != nil {
+			return
+		}
+		buf, err := Marshal(fr)
+		if err != nil {
+			t.Fatalf("decoded frame failed to marshal: %v", err)
+		}
+		if len(buf) > MaxFrameBytes {
+			t.Fatalf("marshal emitted %d bytes, over the %d limit", len(buf), MaxFrameBytes)
+		}
+		fr2, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("re-decode of marshaled frame failed: %v", err)
+		}
+		buf2, err := Marshal(fr2)
+		if err != nil {
+			t.Fatalf("second marshal failed: %v", err)
+		}
+		if string(buf) != string(buf2) {
+			t.Fatalf("codec is not a fixed point:\n%s%s", buf, buf2)
+		}
+	})
+}

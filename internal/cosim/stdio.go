@@ -1,0 +1,60 @@
+package cosim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// ServeStdio runs one session over a line stream: it writes the server
+// hello, then answers each line on r with one frame on w until a bye, EOF,
+// or an unrecoverable transport fault (an oversized line leaves the stream
+// unsynchronizable, so the session terminates rather than guess at frame
+// boundaries). Undecodable-but-bounded lines are survivable: they earn an
+// ErrCodeBadFrame error with id 0 and the session continues.
+//
+// Every frame is flushed before the next read, so a co-simulation partner
+// can drive the session strictly request-by-request over pipes.
+func ServeStdio(o *Oracle, r io.Reader, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	emit := func(f *Frame) error {
+		buf, err := Marshal(f)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	if err := emit(o.Hello()); err != nil {
+		return err
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), MaxFrameBytes)
+	for sc.Scan() {
+		f, err := Decode(sc.Bytes())
+		if err != nil {
+			if err := emit(errorf(0, ErrCodeBadFrame, "%v", err)); err != nil {
+				return err
+			}
+			continue
+		}
+		reply, cont := o.Handle(f)
+		if err := emit(reply); err != nil {
+			return err
+		}
+		if !cont {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if err == bufio.ErrTooLong {
+			// Best effort: tell the peer why before hanging up.
+			_ = emit(errorf(0, ErrCodeBadFrame, "frame exceeds the %d-byte limit", MaxFrameBytes))
+			return fmt.Errorf("cosim: oversized frame terminated the session: %w", err)
+		}
+		return fmt.Errorf("cosim: read: %w", err)
+	}
+	return nil // peer closed the stream without a bye
+}

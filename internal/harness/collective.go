@@ -23,6 +23,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/routing"
 	"repro/internal/topology"
+	"repro/internal/trend"
 	"repro/internal/workload"
 	"repro/internal/wormsim"
 )
@@ -446,6 +447,7 @@ type collectiveCellJSON struct {
 // flattened to plain values and cell keys rendered as strings, so the JSON
 // artifact is stable and readable.
 type collectiveReport struct {
+	Schema         int                  `json:"schema"` // artifact schema version (trend.Schema)
 	Study          string               `json:"study"`
 	Switches       int                  `json:"switches"`
 	Ports          []int                `json:"ports"`
@@ -464,6 +466,7 @@ type collectiveReport struct {
 // results/BENCH_collective.json artifact.
 func CollectiveJSON(r *CollectiveResults) ([]byte, error) {
 	rep := collectiveReport{
+		Schema:         trend.Schema,
 		Study:          "collective",
 		Switches:       r.Options.Switches,
 		Ports:          r.Options.Ports,

@@ -12,6 +12,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/routing"
 	"repro/internal/topology"
+	"repro/internal/trend"
 	"repro/internal/turnmodel"
 	"repro/internal/turnsearch"
 	"repro/internal/wormsim"
@@ -120,6 +121,9 @@ type TurnSearchPoint struct {
 // TurnSearchResults is the study's output.
 type TurnSearchResults struct {
 	Options TurnSearchOptions `json:"-"`
+	// Schema is the artifact schema version, stamped by TurnSearchJSON
+	// (trend.Schema).
+	Schema int `json:"schema"`
 	// Switches echoes the network size into the JSON artifact.
 	Switches int `json:"switches"`
 	// Points holds one aggregate per (ports, policy), in sweep order.
@@ -275,6 +279,7 @@ func FormatTurnSearch(r *TurnSearchResults) string {
 // TurnSearchJSON renders the machine-readable artifact
 // (results/BENCH_turnsearch.json), byte-deterministic across reruns.
 func TurnSearchJSON(r *TurnSearchResults) ([]byte, error) {
+	r.Schema = trend.Schema
 	out, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return nil, err

@@ -24,6 +24,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // ProtectConfig bounds the HTTP front end. Zero values disable the
@@ -78,15 +80,23 @@ func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 // in cmd/irnetd it sits outside even the chaos injector, because shedding
 // must win over everything else when the ceiling is hit.
 func (s *Service) Protect(inner http.Handler, cfg ProtectConfig) http.Handler {
-	served := s.reg.Counter(`irnetd_http_requests_total{class="served"}`)
-	shed := s.reg.Counter(`irnetd_http_requests_total{class="shed"}`)
-	failed := s.reg.Counter(`irnetd_http_requests_total{class="failed"}`)
+	return ProtectHandler(s.reg, inner, cfg, "irnetd")
+}
+
+// ProtectHandler is Protect for daemons that are not a netd Service: it
+// wraps inner with the same three bounds and registers the outcome
+// counters and in-flight gauge on reg under the given metric-name prefix
+// (cmd/irserve uses it with prefix "irserve").
+func ProtectHandler(reg *metrics.Registry, inner http.Handler, cfg ProtectConfig, prefix string) http.Handler {
+	served := reg.Counter(prefix + `_http_requests_total{class="served"}`)
+	shed := reg.Counter(prefix + `_http_requests_total{class="shed"}`)
+	failed := reg.Counter(prefix + `_http_requests_total{class="failed"}`)
 
 	var sem chan struct{}
 	if cfg.MaxInFlight > 0 {
 		sem = make(chan struct{}, cfg.MaxInFlight)
 	}
-	s.reg.GaugeFunc("irnetd_http_inflight", func() float64 {
+	reg.GaugeFunc(prefix+"_http_inflight", func() float64 {
 		if sem == nil {
 			return 0
 		}

@@ -1,0 +1,301 @@
+package trend
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestIngestCheckedInResults: the repository's own results/ directory must
+// ingest cleanly and hold every default gate — this is the library half of
+// the "irtrend exits 0 on checked-in results" acceptance criterion.
+func TestIngestCheckedInResults(t *testing.T) {
+	recs, warns, err := IngestDir("../../results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range warns {
+		t.Logf("warning: %s", w)
+	}
+	if len(recs) < 20 {
+		t.Fatalf("only %d records ingested from checked-in artifacts", len(recs))
+	}
+	rep := Evaluate(recs, DefaultGates())
+	for _, v := range rep.Violations {
+		t.Errorf("checked-in results violate a gate: %s", v.Why)
+	}
+	if rep.Checked == 0 {
+		t.Fatal("no record-gate pairs checked")
+	}
+	// The checked-in wormsim artifact was measured on one core, so the
+	// multi-core parallel floor must skip with a report, not pass silently.
+	found := false
+	for _, s := range rep.Skipped {
+		if strings.Contains(s, "speedup_parallel_event") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("parallel-speedup gate neither checked nor reported skipped: %+v", rep.Skipped)
+	}
+}
+
+// write drops a synthetic artifact into dir.
+func write(t *testing.T, dir, name, body string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// regressedDir fabricates a results directory where every gated metric has
+// regressed past its bound.
+func regressedDir(t *testing.T) string {
+	dir := t.TempDir()
+	write(t, dir, "BENCH_wormsim.json", `{
+  "schema": 1, "cores": 8,
+  "configs": [
+    {"switches": 128, "ports": 4, "rate": 0.1,
+     "engines": {"event": {"cycles_per_sec": 1e6}}, "speedup": 0.9, "speedup_parallel": 1.1},
+    {"switches": 1024, "ports": 8, "rate": 0.1,
+     "engines": {"event": {"cycles_per_sec": 1e5}}, "speedup": 1.5, "speedup_parallel": 1.2}
+  ]}`)
+	write(t, dir, "BENCH_netd.json", `{
+  "schema": 1,
+  "steady": {"achieved_qps": 8000, "served": 100, "shed": 0, "errors": 3,
+             "latency_us": {"mean": 4000, "p50": 3000, "p99": 9000, "p999": 9500}},
+  "storm":  {"achieved_qps": 500, "served": 10, "shed": 90, "errors": 0,
+             "latency_us": {"mean": 100, "p50": 80, "p99": 200, "p999": 300}}}`)
+	write(t, dir, "BENCH_collective.json", `{
+  "schema": 1,
+  "cells": [{"ports": 4, "policy": "M1", "algorithm": "DOWN/UP", "collective": "incast",
+             "makespan": 15000, "avg_message_latency": 9000}]}`)
+	write(t, dir, "BENCH_turnsearch.json", `{
+  "schema": 1,
+  "points": [{"ports": 4, "policy": "M1", "paper_turns": 18, "min_turns_best": 22,
+              "throughput_delta_pct": -5}]}`)
+	return dir
+}
+
+// TestRegressedResultsFailGates: a directory where every metric regressed
+// must trip every default gate — the library half of the "irtrend
+// demonstrably exits 1" criterion.
+func TestRegressedResultsFailGates(t *testing.T) {
+	recs, _, err := IngestDir(regressedDir(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Evaluate(recs, DefaultGates())
+	if rep.OK() {
+		t.Fatal("regressed results passed the gates")
+	}
+	for _, wantMetric := range []string{
+		"speedup_event_scan", "speedup_parallel_event", "achieved_qps",
+		"latency_p99_us", "errors", "min_turns_best", "makespan",
+	} {
+		hit := false
+		for _, v := range rep.Violations {
+			if v.Gate.Metric == wantMetric {
+				hit = true
+			}
+		}
+		if !hit {
+			t.Errorf("regressed %s not flagged; violations: %+v", wantMetric, rep.Violations)
+		}
+	}
+	// Every violation carries its provenance so the CI log names the PR
+	// that pinned the bound.
+	for _, v := range rep.Violations {
+		if !strings.Contains(v.Why, "PR ") {
+			t.Errorf("violation lost its origin: %s", v.Why)
+		}
+	}
+}
+
+// TestUnknownSchemaWarnsNotFails: a future schema version is ingested with
+// a warning — an old tracker must never block a newer artifact.
+func TestUnknownSchemaWarnsNotFails(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "BENCH_turnsearch.json", `{
+  "schema": 99,
+  "points": [{"ports": 4, "policy": "M1", "paper_turns": 18, "min_turns_best": 16,
+              "throughput_delta_pct": 2}]}`)
+	recs, warns, err := IngestFile(filepath.Join(dir, "BENCH_turnsearch.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	found := false
+	for _, w := range warns {
+		if strings.Contains(w, "schema 99") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no schema warning in %+v", warns)
+	}
+}
+
+// TestUnrecognizedArtifactIsError: basenames outside the known set refuse
+// to ingest rather than guessing a shape.
+func TestUnrecognizedArtifactIsError(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "BENCH_mystery.json", `{}`)
+	if _, _, err := IngestFile(filepath.Join(dir, "BENCH_mystery.json")); err == nil {
+		t.Fatal("unrecognized artifact ingested")
+	}
+}
+
+// TestMissingArtifactGateTrips: IngestDir tolerates a missing file with a
+// warning, but the gate over the absent source reports itself unmatched.
+func TestMissingArtifactGateTrips(t *testing.T) {
+	dir := regressedDir(t)
+	if err := os.Remove(filepath.Join(dir, "BENCH_turnsearch.json")); err != nil {
+		t.Fatal(err)
+	}
+	recs, warns, err := IngestDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := false
+	for _, w := range warns {
+		if strings.Contains(w, "BENCH_turnsearch.json") {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatalf("missing artifact not warned about: %+v", warns)
+	}
+	rep := Evaluate(recs, DefaultGates())
+	ok = false
+	for _, v := range rep.Violations {
+		if v.Gate.Source == "turnsearch" && strings.Contains(v.Why, "matched no records") {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatal("unmatched turnsearch gate did not trip")
+	}
+}
+
+// TestHistoryRoundTrip: AppendHistory → ReadHistory → Latest preserves
+// values, stamps labels and schema, and the file is deterministic.
+func TestHistoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "TREND.jsonl")
+	recs := []Record{
+		{Source: "netd", Metric: "achieved_qps", Scenario: "steady", Value: 14000},
+		{Source: "collective", Metric: "makespan", Scenario: "4port/M1/DOWN-UP/incast", Value: 8134},
+	}
+	if err := AppendHistory(path, "pr1", recs); err != nil {
+		t.Fatal(err)
+	}
+	recs[0].Value = 15000
+	if err := AppendHistory(path, "pr2", recs[:1]); err != nil {
+		t.Fatal(err)
+	}
+	hist, warns, err := ReadHistory(path)
+	if err != nil || len(warns) != 0 {
+		t.Fatalf("read: err=%v warns=%+v", err, warns)
+	}
+	if len(hist) != 3 {
+		t.Fatalf("history holds %d records, want 3", len(hist))
+	}
+	// Sorted by key within an append: collective before netd.
+	if hist[0].Source != "collective" || hist[0].Label != "pr1" || hist[0].Schema != Schema {
+		t.Fatalf("first record %+v", hist[0])
+	}
+	last := Latest(hist)
+	if got := last["netd|achieved_qps|steady"]; got.Value != 15000 || got.Label != "pr2" {
+		t.Fatalf("latest qps record %+v", got)
+	}
+
+	// Writing the same records twice yields byte-identical appends — the
+	// history file itself is deterministic.
+	p2 := filepath.Join(t.TempDir(), "TREND.jsonl")
+	if err := AppendHistory(p2, "pr1", []Record{recs[1], recs[0]}); err != nil {
+		t.Fatal(err)
+	}
+	p3 := filepath.Join(t.TempDir(), "TREND.jsonl")
+	if err := AppendHistory(p3, "pr1", []Record{recs[0], recs[1]}); err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := os.ReadFile(p2)
+	b3, _ := os.ReadFile(p3)
+	if string(b2) != string(b3) {
+		t.Fatalf("append order leaked into the file:\n%s---\n%s", b2, b3)
+	}
+}
+
+// TestHistoryTolerates: corrupt lines, comments, and blanks are skipped
+// with warnings; a missing file is an empty history.
+func TestHistoryTolerates(t *testing.T) {
+	hist, warns, err := ReadHistory(filepath.Join(t.TempDir(), "absent.jsonl"))
+	if err != nil || hist != nil || warns != nil {
+		t.Fatalf("missing history: %v %v %v", hist, warns, err)
+	}
+	path := filepath.Join(t.TempDir(), "TREND.jsonl")
+	body := `# comment
+
+{"schema":1,"label":"pr1","source":"netd","metric":"achieved_qps","scenario":"steady","value":14000}
+this line is torn
+{"schema":7,"label":"pr1","source":"netd","metric":"shed","scenario":"storm","value":5}
+`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hist, warns, err = ReadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 2 {
+		t.Fatalf("kept %d records, want 2", len(hist))
+	}
+	if len(warns) != 2 { // one torn line, one schema-7 record
+		t.Fatalf("warnings %+v", warns)
+	}
+}
+
+// TestMatchScenario pins the pattern grammar.
+func TestMatchScenario(t *testing.T) {
+	cases := []struct {
+		pattern, scenario string
+		want              bool
+	}{
+		{"", "anything/at/all", true},
+		{"steady", "steady", true},
+		{"steady", "storm", false},
+		{"*/incast", "4port/M1/DOWN-UP/incast", true},
+		{"*/incast", "4port/M1/DOWN-UP/allgather", false},
+		{"4port/*", "4port/M1", true},
+		{"4port/*", "8port/M1", false},
+		{"*sw/*", "128sw/4port/r0.1", true},
+		{"*", "", true},
+		{"a*b*c", "aXXbYYc", true},
+		{"a*b*c", "acb", false},
+	}
+	for _, c := range cases {
+		if got := matchScenario(c.pattern, c.scenario); got != c.want {
+			t.Errorf("matchScenario(%q, %q) = %v, want %v", c.pattern, c.scenario, got, c.want)
+		}
+	}
+}
+
+// TestMinCoresSkip: an under-provisioned measurement is skipped with a
+// report; a provisioned one is enforced.
+func TestMinCoresSkip(t *testing.T) {
+	g := []Gate{{Source: "wormsim", Metric: "speedup_parallel_event",
+		Min: 2.0, Max: unbounded, MinCores: 4, Origin: "PR 6"}}
+	low := []Record{{Source: "wormsim", Metric: "speedup_parallel_event", Cores: 1, Value: 0.5}}
+	rep := Evaluate(low, g)
+	if !rep.OK() || len(rep.Skipped) != 1 || rep.Checked != 0 {
+		t.Fatalf("single-core record: %+v", rep)
+	}
+	high := []Record{{Source: "wormsim", Metric: "speedup_parallel_event", Cores: 8, Value: 0.5}}
+	rep = Evaluate(high, g)
+	if rep.OK() || rep.Checked != 1 {
+		t.Fatalf("8-core record: %+v", rep)
+	}
+}

@@ -308,7 +308,7 @@ func (s *Simulator) stepParallel() {
 			if !rec.ok {
 				s.res.PacketsUnroutable++
 			} else {
-				s.commitPacket(int(rec.v), int(rec.dst), noTag, rec.route)
+				s.commitPacket(int(rec.v), int(rec.dst), noTag, rec.route, int32(s.cfg.PacketLength))
 			}
 			rec.route = nil // release staged path memory
 		}

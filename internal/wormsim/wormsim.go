@@ -642,6 +642,13 @@ type Simulator struct {
 
 	retrying []int32 // ids of packets aborted at least once and not yet done
 
+	// probeRng is the dedicated path-sampling stream for injected probes
+	// (InjectProbe): it is split from the root seed after every background
+	// stream, so probe injection never perturbs the per-node path or
+	// arrival randomness — the co-simulation oracle's contract (oracle.go).
+	probeRng *rng.Rng
+	probes   []probeRec // one record per injected probe, indexed by probe id
+
 	// wk holds the per-worker mutable contexts the stage bodies write
 	// through: filled-wire lists, routing scratch, and the cycle's progress
 	// and counter deltas (merged by mergeWorkers). The sequential engines
@@ -762,6 +769,7 @@ func New(fn *routing.Function, tb routing.PathSource, cfg Config) (*Simulator, e
 		}
 	}
 	s.arbRng = root.Split()
+	s.probeRng = root.Split()
 	s.deadWire = make([]bool, s.wires)
 	s.deadNode = make([]bool, n)
 	s.res.ChannelFlits = make([]int64, nCh)
@@ -978,6 +986,12 @@ func (s *Simulator) deliverEject(v int) {
 		p.route = nil // release path memory
 		if s.cfg.Workload != nil {
 			s.cfg.Workload.Delivered(p.tag, int(s.now))
+		} else if p.tag != noTag {
+			// Open loop + a tag: the packet is an injected probe
+			// (InjectProbe assigns probe ids as tags); close its record.
+			pr := &s.probes[p.tag]
+			pr.deliveredAt = s.now
+			pr.hops = p.hops
 		}
 	}
 }
@@ -1306,7 +1320,7 @@ func (s *Simulator) spawnPacket(wx *wctx, v, dst int, tag int64) {
 		s.res.PacketsUnroutable++
 		return
 	}
-	s.commitPacket(v, dst, tag, route)
+	s.commitPacket(v, dst, tag, route, int32(s.cfg.PacketLength))
 }
 
 // sampleRoute draws a route for a packet from v to dst per the configured
@@ -1363,11 +1377,11 @@ func (s *Simulator) sampleRoute(wx *wctx, v, dst int) (route []int32, ok bool) {
 // source-node order — sequentially in generate, and in worker order (==
 // ascending node order, since workers own contiguous ranges) when the
 // parallel engine drains its staged spawns.
-func (s *Simulator) commitPacket(v, dst int, tag int64, route []int32) {
+func (s *Simulator) commitPacket(v, dst int, tag int64, route []int32, length int32) {
 	p := packet{
 		src:           int32(v),
 		dst:           int32(dst),
-		length:        int32(s.cfg.PacketLength),
+		length:        length,
 		created:       s.now,
 		injected:      -1,
 		firstInjected: -1,

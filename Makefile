@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all help build test race bench benchall lint-docs servebench serve-smoke trend trend-record paper quick verify examples faults recovery collectives turns fuzz clean
+.PHONY: all help build test race bench benchall lint-docs servebench serve-smoke trend trend-record paper quick verify examples faults recovery collectives turns zoo fuzz clean
 
 # Build, vet, and test everything.
 all: build test
@@ -175,6 +175,17 @@ turns:
 	$(GO) run ./cmd/irturns -differential 500 \
 		-json results/BENCH_turnsearch.json > results/turnsearch_sweep.txt
 	@cat results/turnsearch_sweep.txt
+
+# The cross-family routing shootout: every topology-zoo family under the
+# tree-based algorithms and its structure-aware native router, each
+# certified deadlock-free before simulation (results/zoo_sweep.txt,
+# results/BENCH_zoo.json). Byte-deterministic across reruns, engines, and
+# worker counts.
+zoo:
+	mkdir -p results
+	$(GO) run ./cmd/irzoo -scale paper -compare-engines \
+		-json results/BENCH_zoo.json > results/zoo_sweep.txt
+	@cat results/zoo_sweep.txt
 
 # Short fuzzing passes over the parsers, the simulator config surface, and
 # whole faulted runs (flit conservation under failures + reconfiguration).

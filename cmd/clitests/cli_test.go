@@ -28,7 +28,7 @@ func binaries(t *testing.T) string {
 		if buildErr != nil {
 			return
 		}
-		for _, cmd := range []string{"irtopo", "irroute", "irsim", "irexp", "irverify", "irtrace", "irfault", "irnetd", "irbench", "irturns", "irserve", "irtrend"} {
+		for _, cmd := range []string{"irtopo", "irroute", "irsim", "irexp", "irverify", "irtrace", "irfault", "irnetd", "irbench", "irturns", "irserve", "irtrend", "irzoo"} {
 			out, err := exec.Command("go", "build", "-o", filepath.Join(binDir, cmd), "repro/cmd/"+cmd).CombinedOutput()
 			if err != nil {
 				buildErr = err

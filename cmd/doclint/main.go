@@ -13,9 +13,9 @@
 // With no arguments it checks the repository's documented core:
 // internal/wormsim, internal/harness, internal/metrics, internal/traffic,
 // internal/workload, internal/chaos, internal/netdclient,
-// internal/turnsearch, internal/cosim, internal/trend, and the root irnet
-// package. Exits non-zero listing
-// every violation.
+// internal/turnsearch, internal/cosim, internal/trend, internal/topology,
+// internal/turnmodel, internal/routing, and the root irnet package. Exits
+// non-zero listing every violation.
 package main
 
 import (
@@ -41,6 +41,9 @@ var defaultDirs = []string{
 	"internal/turnsearch",
 	"internal/cosim",
 	"internal/trend",
+	"internal/topology",
+	"internal/turnmodel",
+	"internal/routing",
 }
 
 func main() {

@@ -2,11 +2,16 @@
 //
 // Usage:
 //
-//	irtopo [-topo random] [-switches 128] [-ports 4] [-seed 1] [-policy M1]
-//	       [-edges] [-dot] [-tree]
+//	irtopo [-topo random] [-family dragonfly:4x2x2] [-switches 128]
+//	       [-ports 4] [-seed 1] [-policy M1] [-edges] [-dot] [-tree]
+//	       [-svg FILE]
 //
 // It prints summary statistics; -edges lists the links, -dot emits
-// Graphviz, and -tree prints the coordinated tree with (X, Y) coordinates.
+// Graphviz, -tree prints the coordinated tree with (X, Y) coordinates,
+// and -svg writes a structure-aware rendering (zoo families are laid out
+// by their coordinates). -family is shorthand for the structured topology
+// zoo specs (fullmesh:N, dragonfly:AxPxH, circulant:N:S1:S2..., fbfly:KxN)
+// and overrides -topo.
 package main
 
 import (
@@ -21,7 +26,8 @@ import (
 
 func main() {
 	var (
-		topo     = flag.String("topo", "random", "topology spec (random, ring:N, mesh:WxH, torus:WxH, hypercube:D, tree:N, star:N, line:N, complete:N, petersen, figure1)")
+		topo     = flag.String("topo", "random", "topology spec (random, ring:N, mesh:WxH, torus:WxH, hypercube:D, tree:N, star:N, line:N, complete:N, petersen, figure1, fullmesh:N, dragonfly:AxPxH, circulant:N:S1:S2, fbfly:KxN)")
+		family   = flag.String("family", "", "structured zoo family spec (fullmesh:N, dragonfly:AxPxH, circulant:N:S1:S2..., fbfly:KxN); overrides -topo")
 		switches = flag.Int("switches", 128, "switch count for random topologies")
 		ports    = flag.Int("ports", 4, "ports per switch for random topologies")
 		seed     = flag.Uint64("seed", 1, "random seed")
@@ -30,10 +36,15 @@ func main() {
 		dot      = flag.Bool("dot", false, "emit Graphviz DOT")
 		tree     = flag.Bool("tree", false, "print the coordinated tree coordinates")
 		outFile  = flag.String("out", "", "save the topology to this file (irnet-topology v1)")
+		svgFile  = flag.String("svg", "", "write a structure-aware SVG rendering to this file")
 	)
 	flag.Parse()
 
-	g, err := cliutil.ParseTopology(*topo, *switches, *ports, *seed)
+	spec := *topo
+	if *family != "" {
+		spec = *family
+	}
+	g, err := cliutil.ParseTopology(spec, *switches, *ports, *seed)
 	if err != nil {
 		cliutil.Fatal("irtopo", err)
 	}
@@ -50,7 +61,10 @@ func main() {
 	for v := 0; v < g.N(); v++ {
 		degSum += g.Degree(v)
 	}
-	fmt.Printf("topology    %s\n", *topo)
+	fmt.Printf("topology    %s\n", spec)
+	if st := g.Structure(); st != nil {
+		fmt.Printf("family      %s %v\n", st.Family, st.Dims)
+	}
 	fmt.Printf("switches    %d\n", g.N())
 	fmt.Printf("links       %d\n", g.M())
 	fmt.Printf("avg degree  %.2f\n", float64(degSum)/float64(g.N()))
@@ -85,6 +99,12 @@ func main() {
 	}
 	if *dot {
 		emitDOT(b)
+	}
+	if *svgFile != "" {
+		if err := os.WriteFile(*svgFile, []byte(topology.SVG(g)), 0o644); err != nil {
+			cliutil.Fatal("irtopo", err)
+		}
+		fmt.Println("rendered", *svgFile)
 	}
 	if *outFile != "" {
 		f, err := os.Create(*outFile)

@@ -19,6 +19,10 @@ import (
 //	ring:N line:N star:N complete:N tree:N hypercube:D petersen figure1
 //	mesh:WxH torus:WxH
 //	clustered:CxS     — C clusters of S switches (ports, seed apply)
+//	fullmesh:N        — structure-labeled complete graph (topology zoo)
+//	dragonfly:AxPxH   — balanced dragonfly, a routers/group, h global links
+//	circulant:N:S1:S2 — circulant C(N; S1, S2, ...)
+//	fbfly:KxN         — k-ary n-flat flattened butterfly
 //	file:PATH         — read an irnet-topology v1 file (see topology.Read)
 //
 // switches/ports/seed apply to "random" only.
@@ -125,6 +129,44 @@ func parseTopology(spec string, switches, ports int, seed uint64) (*topology.Gra
 			return nil, err
 		}
 		return topology.Torus2D(w, h), nil
+	case "fullmesh":
+		n, err := atoi()
+		if err != nil {
+			return nil, err
+		}
+		return topology.FullMesh(n)
+	case "dragonfly":
+		parts := strings.Split(arg, "x")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("cliutil: topology %q needs AxPxH parameters", spec)
+		}
+		a, err1 := strconv.Atoi(parts[0])
+		p, err2 := strconv.Atoi(parts[1])
+		h, err3 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("cliutil: bad dragonfly parameters in %q", spec)
+		}
+		return topology.Dragonfly(a, p, h)
+	case "circulant":
+		parts := strings.Split(arg, ":")
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("cliutil: topology %q needs N:S1[:S2...] parameters", spec)
+		}
+		nums := make([]int, len(parts))
+		for i, part := range parts {
+			v, err := strconv.Atoi(part)
+			if err != nil {
+				return nil, fmt.Errorf("cliutil: bad circulant parameter %q in %q", part, spec)
+			}
+			nums[i] = v
+		}
+		return topology.Circulant(nums[0], nums[1:]...)
+	case "fbfly":
+		k, nd, err := dims()
+		if err != nil {
+			return nil, err
+		}
+		return topology.FlattenedButterfly(k, nd)
 	case "petersen":
 		return topology.Petersen(), nil
 	case "figure1":

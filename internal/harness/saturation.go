@@ -28,8 +28,9 @@ type Saturation struct {
 //
 // cfg supplies everything but the injection rate. iters golden-section
 // steps are performed (each two probes after the first); 8-10 gives three
-// significant digits on the rate.
-func FindSaturation(fn *routing.Function, tb *routing.Table, cfg wormsim.Config, lo, hi float64, iters int) (*Saturation, error) {
+// significant digits on the rate. tb may be any path source — the zoo
+// study's Valiant rows search for their own (lower) saturation point.
+func FindSaturation(fn *routing.Function, tb routing.PathSource, cfg wormsim.Config, lo, hi float64, iters int) (*Saturation, error) {
 	if !(lo > 0) || !(hi > lo) || hi > 1 {
 		return nil, fmt.Errorf("harness: bad saturation bracket [%v, %v]", lo, hi)
 	}

@@ -21,6 +21,39 @@ type Graph struct {
 	n   int
 	adj [][]int
 	m   int // number of undirected edges
+
+	structure *Structure
+}
+
+// Structure labels a graph produced by one of the structured zoo
+// generators (zoo.go) with the family it came from and the per-node
+// coordinates of the construction, so structure-aware routing schemes can
+// exploit the regularity instead of seeing bare adjacency. Graphs from the
+// random generators carry no Structure (nil).
+type Structure struct {
+	// Family names the generator: "full-mesh", "dragonfly", "circulant",
+	// or "flattened-butterfly".
+	Family string
+	// Dims records the generator parameters, in constructor argument order
+	// (e.g. [a, p, h] for Dragonfly, [n, s1, s2, ...] for Circulant).
+	Dims []int
+	// Coord[v] is node v's coordinate vector in the family's natural
+	// coordinate system (e.g. [group, router] for Dragonfly, the base-k
+	// digit vector for FlattenedButterfly).
+	Coord [][]int
+}
+
+// Structure returns the family label attached by a structured generator,
+// or nil for unlabeled (random or hand-built) graphs.
+func (g *Graph) Structure() *Structure { return g.structure }
+
+// SetStructure attaches a family label to the graph. A nil argument
+// removes the label. When Coord is non-nil its length must equal N.
+func (g *Graph) SetStructure(s *Structure) {
+	if s != nil && s.Coord != nil && len(s.Coord) != g.n {
+		panic(fmt.Sprintf("topology: Structure has %d coordinates for %d switches", len(s.Coord), g.n))
+	}
+	g.structure = s
 }
 
 // New returns an empty graph with n switches and no links.
@@ -159,12 +192,23 @@ func (g *Graph) MaxDegree() int {
 	return max
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph, including any Structure label.
 func (g *Graph) Clone() *Graph {
 	c := New(g.n)
 	c.m = g.m
 	for v := range g.adj {
 		c.adj[v] = append([]int(nil), g.adj[v]...)
+	}
+	if g.structure != nil {
+		s := &Structure{Family: g.structure.Family}
+		s.Dims = append([]int(nil), g.structure.Dims...)
+		if g.structure.Coord != nil {
+			s.Coord = make([][]int, len(g.structure.Coord))
+			for v := range g.structure.Coord {
+				s.Coord[v] = append([]int(nil), g.structure.Coord[v]...)
+			}
+		}
+		c.structure = s
 	}
 	return c
 }
@@ -194,6 +238,14 @@ func (g *Graph) Validate() error {
 	}
 	if count != 2*g.m {
 		return fmt.Errorf("edge count mismatch: %d half-edges, m=%d", count, g.m)
+	}
+	if s := g.structure; s != nil {
+		if s.Family == "" {
+			return fmt.Errorf("structure label with empty family")
+		}
+		if s.Coord != nil && len(s.Coord) != g.n {
+			return fmt.Errorf("structure has %d coordinates for %d switches", len(s.Coord), g.n)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,123 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// SVG renders the graph as a standalone SVG document. The layout is
+// structure-aware: zoo-labeled graphs are placed by their coordinates
+// (dragonfly groups as clusters on a ring, flattened butterflies as digit
+// grids, meshes and circulants as plain rings), and unlabeled graphs fall
+// back to the ring layout. The output is deterministic: node order and
+// edge order follow the graph's own ordering and all coordinates are
+// rounded, so equal graphs render byte-identical documents.
+func SVG(g *Graph) string {
+	const (
+		size   = 560.0
+		margin = 40.0
+	)
+	pos := layout(g)
+	// Scale the abstract layout into the canvas.
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pos {
+		minX, maxX = math.Min(minX, p[0]), math.Max(maxX, p[0])
+		minY, maxY = math.Min(minY, p[1]), math.Max(maxY, p[1])
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+	scale := math.Min((size-2*margin)/spanX, (size-2*margin)/spanY)
+	px := func(p [2]float64) (float64, float64) {
+		return margin + (p[0]-minX)*scale, margin + (p[1]-minY)*scale
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		size, size, size, size)
+	title := fmt.Sprintf("%d switches, %d links", g.N(), g.M())
+	if s := g.Structure(); s != nil {
+		title = fmt.Sprintf("%s %v — %s", s.Family, s.Dims, title)
+	}
+	fmt.Fprintf(&b, "  <title>%s</title>\n", title)
+	for _, e := range g.Edges() {
+		x1, y1 := px(pos[e.From])
+		x2, y2 := px(pos[e.To])
+		fmt.Fprintf(&b, `  <line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#999" stroke-width="1"/>`+"\n",
+			x1, y1, x2, y2)
+	}
+	r := math.Max(4, math.Min(12, 120/math.Sqrt(float64(g.N()))))
+	for v := 0; v < g.N(); v++ {
+		x, y := px(pos[v])
+		fmt.Fprintf(&b, `  <circle cx="%.1f" cy="%.1f" r="%.1f" fill="#4a90d9" stroke="#1c4f82"/>`+"\n", x, y, r)
+		if g.N() <= 128 {
+			fmt.Fprintf(&b, `  <text x="%.1f" y="%.1f" font-size="%.1f" text-anchor="middle" dy="0.35em" fill="#fff">%d</text>`+"\n",
+				x, y, r, v)
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// layout assigns abstract 2D positions per node, by family.
+func layout(g *Graph) [][2]float64 {
+	n := g.N()
+	pos := make([][2]float64, n)
+	s := g.Structure()
+	ring := func() {
+		for v := 0; v < n; v++ {
+			a := 2 * math.Pi * float64(v) / float64(n)
+			pos[v] = [2]float64{math.Cos(a), math.Sin(a)}
+		}
+	}
+	if s == nil {
+		ring()
+		return pos
+	}
+	switch s.Family {
+	case FamilyDragonfly:
+		// Groups on a ring, each group's routers on a small inner ring.
+		a := s.Dims[0]
+		groups := (n + a - 1) / a
+		for v := 0; v < n; v++ {
+			grp, r := s.Coord[v][0], s.Coord[v][1]
+			ga := 2 * math.Pi * float64(grp) / float64(groups)
+			ra := 2 * math.Pi * float64(r) / float64(a)
+			pos[v] = [2]float64{
+				math.Cos(ga) + 0.22*math.Cos(ra),
+				math.Sin(ga) + 0.22*math.Sin(ra),
+			}
+		}
+	case FamilyFlattenedButterfly:
+		// Digit grid: dimension 0 on x, dimension 1 on y, higher dimensions
+		// spread as grid-of-grids offsets.
+		k := s.Dims[0]
+		for v := 0; v < n; v++ {
+			d := s.Coord[v]
+			x, y := float64(d[0]), 0.0
+			if len(d) > 1 {
+				y = float64(d[1])
+			}
+			stepX, stepY := float64(k)+1, float64(k)+1
+			for i := 2; i < len(d); i += 2 {
+				x += float64(d[i]) * stepX
+				stepX *= float64(k) + 1
+			}
+			for i := 3; i < len(d); i += 2 {
+				y += float64(d[i]) * stepY
+				stepY *= float64(k) + 1
+			}
+			pos[v] = [2]float64{x, y}
+		}
+	default:
+		// Full meshes, circulants, and anything else with ring-like ids.
+		ring()
+	}
+	return pos
+}

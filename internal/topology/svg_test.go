@@ -1,0 +1,82 @@
+package topology
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Every zoo family (plus an unlabeled graph) must render to a well-formed,
+// deterministic SVG document with one circle per switch and one line per
+// link.
+func TestSVGRendersEveryFamily(t *testing.T) {
+	builders := map[string]func() (*Graph, error){
+		"full-mesh": func() (*Graph, error) { return FullMesh(8) },
+		"dragonfly": func() (*Graph, error) { return Dragonfly(4, 2, 2) },
+		"circulant": func() (*Graph, error) { return Circulant(16, 1, 4) },
+		"fbfly":     func() (*Graph, error) { return FlattenedButterfly(4, 2) },
+		"fbfly-3d":  func() (*Graph, error) { return FlattenedButterfly(3, 3) },
+		"unlabeled": func() (*Graph, error) { return Ring(10), nil },
+	}
+	for name, build := range builders {
+		g, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		svg := SVG(g)
+		if !strings.HasPrefix(svg, "<svg ") || !strings.HasSuffix(svg, "</svg>\n") {
+			t.Fatalf("%s: not an SVG document", name)
+		}
+		if got := strings.Count(svg, "<circle "); got != g.N() {
+			t.Errorf("%s: %d circles, want %d", name, got, g.N())
+		}
+		if got := strings.Count(svg, "<line "); got != g.M() {
+			t.Errorf("%s: %d lines, want %d", name, got, g.M())
+		}
+		if s := g.Structure(); s != nil && !strings.Contains(svg, "<title>"+s.Family) {
+			t.Errorf("%s: title does not name the family", name)
+		}
+		if svg != SVG(g) {
+			t.Errorf("%s: rendering is nondeterministic", name)
+		}
+		// No NaN/Inf coordinates may leak into the document.
+		for _, bad := range []string{"NaN", "Inf"} {
+			if strings.Contains(svg, bad) {
+				t.Errorf("%s: %s coordinate in output", name, bad)
+			}
+		}
+	}
+}
+
+// The dragonfly layout must actually cluster: two routers of one group sit
+// closer together than the canvas-wide group ring diameter would ever
+// allow for routers of different groups on opposite sides.
+func TestSVGDragonflyClusters(t *testing.T) {
+	g, err := Dragonfly(4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := layout(g)
+	intra, inter := 0.0, math.Inf(1)
+	// Max intra-group distance vs the distance between group 0 and the
+	// farthest group's nodes.
+	a := g.Structure().Dims[0]
+	dist := func(u, v int) float64 {
+		dx, dy := pos[u][0]-pos[v][0], pos[u][1]-pos[v][1]
+		return dx*dx + dy*dy
+	}
+	for r1 := 0; r1 < a; r1++ {
+		for r2 := r1 + 1; r2 < a; r2++ {
+			if d := dist(r1, r2); d > intra {
+				intra = d
+			}
+		}
+	}
+	far := (len(pos)/a/2)*a + 1 // a router in the group across the ring
+	if d := dist(0, far); d < inter {
+		inter = d
+	}
+	if intra >= inter {
+		t.Errorf("group not clustered: intra %v >= inter %v", intra, inter)
+	}
+}

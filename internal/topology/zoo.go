@@ -1,0 +1,211 @@
+package topology
+
+import "fmt"
+
+// This file is the structured topology zoo: deterministic generators for
+// the regular families the cross-family routing shootout (harness.ZooStudy)
+// compares the paper's tree-based routing against. Every generator labels
+// its graph with a Structure (family, parameters, per-node coordinates) so
+// structure-aware routing schemes in internal/turnmodel can exploit the
+// regularity; the adjacency itself remains an ordinary Graph, so all the
+// tree-based machinery applies unchanged.
+
+// Family names attached by the zoo generators.
+const (
+	// FamilyFullMesh labels FullMesh graphs.
+	FamilyFullMesh = "full-mesh"
+	// FamilyDragonfly labels Dragonfly graphs.
+	FamilyDragonfly = "dragonfly"
+	// FamilyCirculant labels Circulant graphs.
+	FamilyCirculant = "circulant"
+	// FamilyFlattenedButterfly labels FlattenedButterfly graphs.
+	FamilyFlattenedButterfly = "flattened-butterfly"
+)
+
+// FullMesh returns the complete graph on n switches, labeled with the
+// full-mesh family so structure-aware routers (the HOTI'25-style VC-free
+// scheme) recognize it. The adjacency is built by Complete — FullMesh is
+// the labeled view of the same single code path, not a second builder.
+func FullMesh(n int) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: FullMesh requires n >= 2, got %d", n)
+	}
+	g := Complete(n)
+	coord := make([][]int, n)
+	for v := range coord {
+		coord[v] = []int{v}
+	}
+	g.SetStructure(&Structure{Family: FamilyFullMesh, Dims: []int{n}, Coord: coord})
+	return g, nil
+}
+
+// Dragonfly returns the canonical balanced dragonfly topology with a
+// routers per group, p terminals per router, and h global links per router
+// (Kim, Dally, Scott, Abts, ISCA 2008). There are g = a*h + 1 groups —
+// exactly enough for one global link between every pair of groups — and
+// the graph has g*a switches. Within a group the a routers form a complete
+// graph; globally, port q of group i connects to group (i+q+1) mod g, and
+// router a-1-q/h of the group owns port q. The reversed port ownership
+// (high routers own low ports) is deliberate: it places group i's link to
+// group i-1 on router 0, so every switch except node 0 has a neighbor with
+// a smaller id — which makes id-ordered up*/down*-style routing (the
+// routing.DragonflyMin base) connected on every instance, not just small
+// ones.
+//
+// p does not affect the switch graph (terminals are modelled by the
+// simulator's injection process); it is validated and recorded in Dims so
+// the declared port budget a-1 + h + p is part of the label.
+//
+// Node v's coordinate is [group, router] with v = group*a + router.
+func Dragonfly(a, p, h int) (*Graph, error) {
+	if a < 1 || h < 1 || p < 0 {
+		return nil, fmt.Errorf("topology: Dragonfly requires a >= 1, h >= 1, p >= 0, got a=%d p=%d h=%d", a, p, h)
+	}
+	groups := a*h + 1
+	n := groups * a
+	if n > 1<<20 {
+		return nil, fmt.Errorf("topology: Dragonfly(a=%d,p=%d,h=%d) has %d switches, too large", a, p, h, n)
+	}
+	g := New(n)
+	node := func(grp, r int) int { return grp*a + r }
+	// Intra-group complete graphs.
+	for grp := 0; grp < groups; grp++ {
+		for r1 := 0; r1 < a; r1++ {
+			for r2 := r1 + 1; r2 < a; r2++ {
+				g.MustAddEdge(node(grp, r1), node(grp, r2))
+			}
+		}
+	}
+	// Global links: port q of group i reaches group j = (i+q+1) mod g; the
+	// peer port is q' = g-q-2, so each unordered group pair gets exactly one
+	// link. Adding only when i < j places each link once.
+	for i := 0; i < groups; i++ {
+		for q := 0; q < a*h; q++ {
+			j := (i + q + 1) % groups
+			if i >= j {
+				continue
+			}
+			qPeer := groups - q - 2
+			g.MustAddEdge(node(i, a-1-q/h), node(j, a-1-qPeer/h))
+		}
+	}
+	coord := make([][]int, n)
+	for v := range coord {
+		coord[v] = []int{v / a, v % a}
+	}
+	g.SetStructure(&Structure{Family: FamilyDragonfly, Dims: []int{a, p, h}, Coord: coord})
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("topology: Dragonfly(a=%d,p=%d,h=%d): %w", a, p, h, err)
+	}
+	return g, nil
+}
+
+// Circulant returns the circulant graph C(n; gens): n switches on a ring,
+// with switch i linked to (i ± s) mod n for every generator s — the
+// ring-based NoC family of Romanov (2019). Generators are normalized to
+// 1..n/2 (s and n-s describe the same links), must be distinct after
+// normalization, and must generate a connected graph. A generator set
+// containing 1 (the plain ring step) guarantees the dateline router's
+// monotone fallback paths exist on top of connectivity.
+//
+// Node v's coordinate is [v] (its ring position); Dims records n followed
+// by the normalized generators in ascending order.
+func Circulant(n int, gens ...int) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topology: Circulant requires n >= 3, got %d", n)
+	}
+	if len(gens) == 0 {
+		return nil, fmt.Errorf("topology: Circulant requires at least one generator")
+	}
+	seen := make(map[int]bool, len(gens))
+	norm := make([]int, 0, len(gens))
+	for _, s := range gens {
+		if s <= 0 || s >= n {
+			return nil, fmt.Errorf("topology: Circulant generator %d out of range (0, %d)", s, n)
+		}
+		if n-s < s {
+			s = n - s
+		}
+		if seen[s] {
+			return nil, fmt.Errorf("topology: Circulant generator %d duplicated after normalization", s)
+		}
+		seen[s] = true
+		norm = append(norm, s)
+	}
+	// Keep Dims deterministic regardless of argument order.
+	for i := 1; i < len(norm); i++ {
+		for j := i; j > 0 && norm[j] < norm[j-1]; j-- {
+			norm[j], norm[j-1] = norm[j-1], norm[j]
+		}
+	}
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for _, s := range norm {
+			j := (i + s) % n
+			if !g.HasEdge(i, j) {
+				g.MustAddEdge(i, j)
+			}
+		}
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("topology: Circulant(%d; %v) is disconnected (gcd of generators and n exceeds 1)", n, norm)
+	}
+	coord := make([][]int, n)
+	for v := range coord {
+		coord[v] = []int{v}
+	}
+	g.SetStructure(&Structure{Family: FamilyCirculant, Dims: append([]int{n}, norm...), Coord: coord})
+	return g, nil
+}
+
+// FlattenedButterfly returns the k-ary n-flat flattened butterfly (Kim,
+// Dally, Abts, ISCA 2007): k^n switches addressed by base-k digit vectors,
+// with a link between every pair of switches that differ in exactly one
+// digit — each dimension is a complete graph of k switches, so the degree
+// is n*(k-1).
+//
+// Node v's coordinate is its digit vector [d0, d1, ..., d(n-1)] with d0
+// the least significant digit: v = sum d_i * k^i.
+func FlattenedButterfly(k, n int) (*Graph, error) {
+	if k < 2 || n < 1 {
+		return nil, fmt.Errorf("topology: FlattenedButterfly requires k >= 2 and n >= 1, got k=%d n=%d", k, n)
+	}
+	if 2*n > MaxDirsPerDim {
+		return nil, fmt.Errorf("topology: FlattenedButterfly supports at most %d dimensions, got %d", MaxDirsPerDim/2, n)
+	}
+	size := 1
+	for i := 0; i < n; i++ {
+		if size > 1<<20/k {
+			return nil, fmt.Errorf("topology: FlattenedButterfly(%d,%d) too large", k, n)
+		}
+		size *= k
+	}
+	g := New(size)
+	for v := 0; v < size; v++ {
+		stride := 1
+		for dim := 0; dim < n; dim++ {
+			digit := (v / stride) % k
+			for d2 := digit + 1; d2 < k; d2++ {
+				g.MustAddEdge(v, v+(d2-digit)*stride)
+			}
+			stride *= k
+		}
+	}
+	coord := make([][]int, size)
+	for v := range coord {
+		digits := make([]int, n)
+		x := v
+		for i := 0; i < n; i++ {
+			digits[i] = x % k
+			x /= k
+		}
+		coord[v] = digits
+	}
+	g.SetStructure(&Structure{Family: FamilyFlattenedButterfly, Dims: []int{k, n}, Coord: coord})
+	return g, nil
+}
+
+// MaxDirsPerDim bounds FlattenedButterfly's dimension count: the
+// dimension-order routing scheme spends two directions (digit-up,
+// digit-down) per dimension and the turn-model alphabet holds eight.
+const MaxDirsPerDim = 8

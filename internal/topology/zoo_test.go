@@ -1,0 +1,322 @@
+package topology
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestFullMeshMatchesComplete(t *testing.T) {
+	for _, n := range []int{2, 3, 6, 16} {
+		g, err := FullMesh(n)
+		if err != nil {
+			t.Fatalf("FullMesh(%d): %v", n, err)
+		}
+		want := Complete(n)
+		if g.N() != want.N() || g.M() != want.M() {
+			t.Fatalf("FullMesh(%d) = %v, Complete = %v", n, g, want)
+		}
+		for v := 0; v < n; v++ {
+			if !reflect.DeepEqual(g.Neighbors(v), want.Neighbors(v)) {
+				t.Fatalf("FullMesh(%d) neighbors of %d differ from Complete", n, v)
+			}
+		}
+		s := g.Structure()
+		if s == nil || s.Family != FamilyFullMesh || !reflect.DeepEqual(s.Dims, []int{n}) {
+			t.Fatalf("FullMesh(%d) structure = %+v", n, s)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("FullMesh(%d) Validate: %v", n, err)
+		}
+	}
+	if _, err := FullMesh(1); err == nil {
+		t.Fatal("FullMesh(1) should fail")
+	}
+}
+
+func TestDragonflyProperties(t *testing.T) {
+	cases := []struct{ a, p, h int }{
+		{1, 1, 1}, {2, 1, 1}, {2, 2, 2}, {3, 2, 1}, {4, 2, 2}, {4, 3, 2}, {6, 3, 3},
+	}
+	for _, c := range cases {
+		g, err := Dragonfly(c.a, c.p, c.h)
+		if err != nil {
+			t.Fatalf("Dragonfly(%d,%d,%d): %v", c.a, c.p, c.h, err)
+		}
+		groups := c.a*c.h + 1
+		if g.N() != groups*c.a {
+			t.Fatalf("Dragonfly(%d,%d,%d) has %d switches, want %d", c.a, c.p, c.h, g.N(), groups*c.a)
+		}
+		// Every router has exactly a-1 local + h global links.
+		wantDeg := c.a - 1 + c.h
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) != wantDeg {
+				t.Fatalf("Dragonfly(%d,%d,%d) switch %d has degree %d, want %d",
+					c.a, c.p, c.h, v, g.Degree(v), wantDeg)
+			}
+		}
+		if !g.Connected() {
+			t.Fatalf("Dragonfly(%d,%d,%d) disconnected", c.a, c.p, c.h)
+		}
+		// Exactly one global link between every pair of groups.
+		global := make(map[[2]int]int)
+		for _, e := range g.Edges() {
+			g1, g2 := e.From/c.a, e.To/c.a
+			if g1 != g2 {
+				global[[2]int{g1, g2}]++
+			}
+		}
+		if len(global) != groups*(groups-1)/2 {
+			t.Fatalf("Dragonfly(%d,%d,%d): %d connected group pairs, want %d",
+				c.a, c.p, c.h, len(global), groups*(groups-1)/2)
+		}
+		for pair, cnt := range global {
+			if cnt != 1 {
+				t.Fatalf("Dragonfly(%d,%d,%d): groups %v joined by %d links", c.a, c.p, c.h, pair, cnt)
+			}
+		}
+		s := g.Structure()
+		if s == nil || s.Family != FamilyDragonfly || !reflect.DeepEqual(s.Dims, []int{c.a, c.p, c.h}) {
+			t.Fatalf("Dragonfly(%d,%d,%d) structure = %+v", c.a, c.p, c.h, s)
+		}
+		for v := 0; v < g.N(); v++ {
+			if want := []int{v / c.a, v % c.a}; !reflect.DeepEqual(s.Coord[v], want) {
+				t.Fatalf("Dragonfly coord[%d] = %v, want %v", v, s.Coord[v], want)
+			}
+		}
+	}
+	if _, err := Dragonfly(0, 1, 1); err == nil {
+		t.Fatal("Dragonfly(0,1,1) should fail")
+	}
+	if _, err := Dragonfly(2, 1, 0); err == nil {
+		t.Fatal("Dragonfly(2,1,0) should fail")
+	}
+}
+
+func TestCirculantProperties(t *testing.T) {
+	cases := []struct {
+		n    int
+		gens []int
+	}{
+		{3, []int{1}},
+		{12, []int{1, 3}},
+		{12, []int{1, 6}}, // n/2 generator: single link, odd degree
+		{13, []int{1, 5}},
+		{64, []int{1, 14}},
+		{10, []int{3}}, // gcd(3,10)=1, connected without generator 1
+	}
+	for _, c := range cases {
+		g, err := Circulant(c.n, c.gens...)
+		if err != nil {
+			t.Fatalf("Circulant(%d; %v): %v", c.n, c.gens, err)
+		}
+		if g.N() != c.n {
+			t.Fatalf("Circulant(%d; %v) has %d switches", c.n, c.gens, g.N())
+		}
+		if !g.Connected() {
+			t.Fatalf("Circulant(%d; %v) disconnected", c.n, c.gens)
+		}
+		// Vertex-transitive: every switch has the same degree, 2 per
+		// generator except the half-way generator which contributes 1.
+		wantDeg := 0
+		for _, s := range c.gens {
+			if 2*s == c.n {
+				wantDeg++
+			} else {
+				wantDeg += 2
+			}
+		}
+		for v := 0; v < c.n; v++ {
+			if g.Degree(v) != wantDeg {
+				t.Fatalf("Circulant(%d; %v) switch %d degree %d, want %d",
+					c.n, c.gens, v, g.Degree(v), wantDeg)
+			}
+		}
+		if s := g.Structure(); s == nil || s.Family != FamilyCirculant {
+			t.Fatalf("Circulant(%d; %v) structure = %+v", c.n, c.gens, s)
+		}
+	}
+	// Generator order and s vs n-s aliasing do not change the label.
+	g1, err := Circulant(12, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Circulant(12, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g1.Structure().Dims, g2.Structure().Dims) {
+		t.Fatalf("Dims %v vs %v not normalized", g1.Structure().Dims, g2.Structure().Dims)
+	}
+	if _, err := Circulant(12, 2, 4); err == nil {
+		t.Fatal("Circulant(12; 2,4) is disconnected, should fail")
+	}
+	if _, err := Circulant(12); err == nil {
+		t.Fatal("Circulant with no generators should fail")
+	}
+	if _, err := Circulant(12, 12); err == nil {
+		t.Fatal("out-of-range generator should fail")
+	}
+	if _, err := Circulant(12, 5, 7); err == nil {
+		t.Fatal("aliased generators 5 and 7 should fail")
+	}
+}
+
+func TestFlattenedButterflyProperties(t *testing.T) {
+	cases := []struct{ k, n int }{
+		{2, 1}, {2, 3}, {3, 2}, {4, 2}, {8, 2}, {4, 3},
+	}
+	for _, c := range cases {
+		g, err := FlattenedButterfly(c.k, c.n)
+		if err != nil {
+			t.Fatalf("FlattenedButterfly(%d,%d): %v", c.k, c.n, err)
+		}
+		size := 1
+		for i := 0; i < c.n; i++ {
+			size *= c.k
+		}
+		if g.N() != size {
+			t.Fatalf("FlattenedButterfly(%d,%d) has %d switches, want %d", c.k, c.n, g.N(), size)
+		}
+		if !g.Connected() {
+			t.Fatalf("FlattenedButterfly(%d,%d) disconnected", c.k, c.n)
+		}
+		wantDeg := c.n * (c.k - 1)
+		for v := 0; v < size; v++ {
+			if g.Degree(v) != wantDeg {
+				t.Fatalf("FlattenedButterfly(%d,%d) switch %d degree %d, want %d",
+					c.k, c.n, v, g.Degree(v), wantDeg)
+			}
+		}
+		s := g.Structure()
+		if s == nil || s.Family != FamilyFlattenedButterfly {
+			t.Fatalf("FlattenedButterfly(%d,%d) structure = %+v", c.k, c.n, s)
+		}
+		// Coordinates decode the node id and every edge differs in one digit.
+		for v := 0; v < size; v++ {
+			got, stride := 0, 1
+			for _, d := range s.Coord[v] {
+				got += d * stride
+				stride *= c.k
+			}
+			if got != v {
+				t.Fatalf("coord %v decodes to %d, not %d", s.Coord[v], got, v)
+			}
+		}
+		for _, e := range g.Edges() {
+			diff := 0
+			for i := range s.Coord[e.From] {
+				if s.Coord[e.From][i] != s.Coord[e.To][i] {
+					diff++
+				}
+			}
+			if diff != 1 {
+				t.Fatalf("edge (%d,%d) differs in %d digits", e.From, e.To, diff)
+			}
+		}
+	}
+	if _, err := FlattenedButterfly(1, 2); err == nil {
+		t.Fatal("FlattenedButterfly(1,2) should fail")
+	}
+	if _, err := FlattenedButterfly(2, 5); err == nil {
+		t.Fatal("FlattenedButterfly(2,5) exceeds the direction alphabet, should fail")
+	}
+}
+
+// TestZooDeterministicAndValid sweeps each generator over a family of
+// parameters and checks determinism (two constructions are edge-identical),
+// Validate, and the declared port budget.
+func TestZooDeterministicAndValid(t *testing.T) {
+	type instance struct {
+		name  string
+		build func() (*Graph, error)
+		ports int // declared switch port budget (max degree bound)
+	}
+	var insts []instance
+	for n := 2; n <= 16; n++ {
+		n := n
+		insts = append(insts, instance{fmt.Sprintf("fullmesh-%d", n),
+			func() (*Graph, error) { return FullMesh(n) }, n - 1})
+	}
+	for a := 1; a <= 4; a++ {
+		for h := 1; h <= 2; h++ {
+			a, h := a, h
+			insts = append(insts, instance{fmt.Sprintf("dragonfly-%d-%d", a, h),
+				func() (*Graph, error) { return Dragonfly(a, 2, h) }, a - 1 + h})
+		}
+	}
+	for n := 8; n <= 32; n += 4 {
+		n := n
+		gens := []int{1, n / 4}
+		insts = append(insts, instance{fmt.Sprintf("circulant-%d", n),
+			func() (*Graph, error) { return Circulant(n, gens...) }, 4})
+	}
+	for _, kn := range [][2]int{{2, 2}, {3, 2}, {4, 2}, {2, 3}, {3, 3}} {
+		k, n := kn[0], kn[1]
+		insts = append(insts, instance{fmt.Sprintf("fbfly-%d-%d", k, n),
+			func() (*Graph, error) { return FlattenedButterfly(k, n) }, n * (k - 1)})
+	}
+	for _, in := range insts {
+		g1, err := in.build()
+		if err != nil {
+			t.Fatalf("%s: %v", in.name, err)
+		}
+		g2, err := in.build()
+		if err != nil {
+			t.Fatalf("%s (second build): %v", in.name, err)
+		}
+		if !reflect.DeepEqual(g1.Edges(), g2.Edges()) {
+			t.Fatalf("%s: two constructions differ", in.name)
+		}
+		if err := g1.Validate(); err != nil {
+			t.Fatalf("%s: Validate: %v", in.name, err)
+		}
+		if !g1.Connected() {
+			t.Fatalf("%s: disconnected", in.name)
+		}
+		if g1.MaxDegree() > in.ports {
+			t.Fatalf("%s: max degree %d exceeds port budget %d", in.name, g1.MaxDegree(), in.ports)
+		}
+	}
+}
+
+func TestStructureCloneAndValidate(t *testing.T) {
+	g, err := Dragonfly(3, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.Clone()
+	s, cs := g.Structure(), c.Structure()
+	if cs == nil || !reflect.DeepEqual(s, cs) {
+		t.Fatalf("Clone structure %+v differs from original %+v", cs, s)
+	}
+	// Deep copy: mutating the clone's label leaves the original alone.
+	cs.Coord[0][0] = 99
+	if s.Coord[0][0] == 99 {
+		t.Fatal("Clone shares Coord storage with original")
+	}
+	// Validate rejects malformed labels.
+	bad := New(3)
+	bad.structure = &Structure{Family: ""}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted empty family")
+	}
+	bad.structure = &Structure{Family: "x", Coord: make([][]int, 2)}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted short Coord")
+	}
+	// SetStructure enforces the Coord length eagerly.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("SetStructure accepted short Coord")
+			}
+		}()
+		New(3).SetStructure(&Structure{Family: "x", Coord: make([][]int, 2)})
+	}()
+	// And nil clears the label.
+	g.SetStructure(nil)
+	if g.Structure() != nil {
+		t.Fatal("SetStructure(nil) did not clear the label")
+	}
+}

@@ -70,6 +70,16 @@ func DefaultGates() []Gate {
 			Min: 7000, Max: 10000,
 			Origin: "PR 5: incast makespan is pinned by the ejection serialization bound (~8134 cycles)",
 		},
+		{
+			Source: "zoo", Metric: "native_over_downup_sat", Scenario: "dragonfly",
+			Min: 1.05, Max: unbounded,
+			Origin: "PR 10 zoo shootout: minimal dragonfly routing beats DOWN/UP by ≥5% saturation throughput on its home topology (checked-in ~1.11)",
+		},
+		{
+			Source: "zoo", Metric: "certified", Scenario: "",
+			Min: 1, Max: 1,
+			Origin: "PR 10 zoo shootout: every simulated routing function passed the exact existence check with a verified witness",
+		},
 	}
 }
 

@@ -4,10 +4,11 @@
 // and maintains results/TREND.jsonl — the append-only cross-PR history the
 // regression tracker cmd/irtrend reads and extends.
 //
-// The four ingested documents are results/BENCH_wormsim.json (engine
+// The five ingested documents are results/BENCH_wormsim.json (engine
 // speed), BENCH_netd.json (control-plane serving), BENCH_collective.json
-// (closed-loop collectives), and BENCH_turnsearch.json (minimal
-// prohibited-turn-set search); results/README.md is the field reference.
+// (closed-loop collectives), BENCH_turnsearch.json (minimal
+// prohibited-turn-set search), and BENCH_zoo.json (cross-family routing
+// shootout); results/README.md is the field reference.
 // Each carries a "schema" version: unknown versions are ingested with a
 // warning, never a failure, so an old irtrend does not block a newer
 // artifact (fields are only ever added within this repository).
@@ -131,6 +132,22 @@ type benchTurnsearch struct {
 	} `json:"points"`
 }
 
+// benchZoo mirrors the cross-family shootout report (internal/harness).
+type benchZoo struct {
+	Schema   int `json:"schema"`
+	Families []struct {
+		Family              string  `json:"family"`
+		NativeOverDownUpSat float64 `json:"native_over_downup_sat"`
+		Points              []struct {
+			Router      string  `json:"router"`
+			Certified   bool    `json:"certified"`
+			SatAccepted float64 `json:"sat_accepted"`
+			AvgLatency  float64 `json:"avg_latency"`
+			Makespan    float64 `json:"makespan"`
+		} `json:"points"`
+	} `json:"families"`
+}
+
 // scenarioToken flattens a value that may contain the scenario separator
 // ("DOWN/UP" → "DOWN-UP") so scenarios split unambiguously on "/".
 func scenarioToken(s string) string { return strings.ReplaceAll(s, "/", "-") }
@@ -210,6 +227,26 @@ func IngestFile(path string) ([]Record, []string, error) {
 			add("turnsearch", "paper_turns", sc, 0, float64(p.PaperTurns))
 			add("turnsearch", "throughput_delta_pct", sc, 0, p.ThroughputDelta)
 		}
+	case "BENCH_zoo.json":
+		var d benchZoo
+		if err := json.Unmarshal(buf, &d); err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", base, err)
+		}
+		warns = checkSchema(path, d.Schema, warns)
+		for _, f := range d.Families {
+			add("zoo", "native_over_downup_sat", f.Family, 0, f.NativeOverDownUpSat)
+			for _, p := range f.Points {
+				sc := f.Family + "/" + scenarioToken(p.Router)
+				certified := 0.0
+				if p.Certified {
+					certified = 1
+				}
+				add("zoo", "certified", sc, 0, certified)
+				add("zoo", "sat_accepted", sc, 0, p.SatAccepted)
+				add("zoo", "avg_latency", sc, 0, p.AvgLatency)
+				add("zoo", "makespan", sc, 0, p.Makespan)
+			}
+		}
 	default:
 		return nil, nil, fmt.Errorf("trend: unrecognized artifact %q", base)
 	}
@@ -221,6 +258,7 @@ func BenchFiles() []string {
 	return []string{
 		"BENCH_wormsim.json", "BENCH_netd.json",
 		"BENCH_collective.json", "BENCH_turnsearch.json",
+		"BENCH_zoo.json",
 	}
 }
 

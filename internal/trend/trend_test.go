@@ -75,6 +75,11 @@ func regressedDir(t *testing.T) string {
   "schema": 1,
   "points": [{"ports": 4, "policy": "M1", "paper_turns": 18, "min_turns_best": 22,
               "throughput_delta_pct": -5}]}`)
+	write(t, dir, "BENCH_zoo.json", `{
+  "schema": 1,
+  "families": [{"family": "dragonfly", "native_over_downup_sat": 0.8,
+    "points": [{"router": "dragonfly-min", "certified": false,
+                "sat_accepted": 0.1, "avg_latency": 50, "makespan": 900}]}]}`)
 	return dir
 }
 
@@ -93,6 +98,7 @@ func TestRegressedResultsFailGates(t *testing.T) {
 	for _, wantMetric := range []string{
 		"speedup_event_scan", "speedup_parallel_event", "achieved_qps",
 		"latency_p99_us", "errors", "min_turns_best", "makespan",
+		"native_over_downup_sat", "certified",
 	} {
 		hit := false
 		for _, v := range rep.Violations {

@@ -123,6 +123,38 @@ func lexLevelXMeasure(signs []Sign) Measure {
 	}
 }
 
+// idMeasure: the bare node id. The zoo schemes (zoo.go) classify channels
+// by id order directly, so the id is strictly monotone per direction with
+// no tree involved.
+func idMeasure(signs []Sign) Measure {
+	return Measure{
+		Name: "id",
+		Sign: signs,
+		DeltaSign: func(cg *cgraph.CG, c int) Sign {
+			ch := &cg.Channels[c]
+			return sgn(ch.To - ch.From)
+		},
+	}
+}
+
+// digitMeasure: digit dim of the base-k node id, the per-dimension measure
+// of the flattened-butterfly scheme. A channel that changes another digit
+// leaves this one unchanged (sign Zero).
+func digitMeasure(k, dim int, signs []Sign) Measure {
+	stride := 1
+	for i := 0; i < dim; i++ {
+		stride *= k
+	}
+	return Measure{
+		Name: fmt.Sprintf("digit%d", dim),
+		Sign: signs,
+		DeltaSign: func(cg *cgraph.CG, c int) Sign {
+			ch := &cg.Channels[c]
+			return sgn((ch.To/stride)%k - (ch.From/stride)%k)
+		},
+	}
+}
+
 func sgn(x int) Sign {
 	switch {
 	case x < 0:
@@ -139,7 +171,7 @@ func sgn(x int) Sign {
 // tree. It returns nil for unknown schemes (certification then fails
 // closed).
 func MeasuresFor(scheme Scheme) []Measure {
-	switch scheme.(type) {
+	switch s := scheme.(type) {
 	case EightDir:
 		// Order: LUTree, RDTree, LUCross, LDCross, RUCross, RDCross, RCross, LCross.
 		return []Measure{
@@ -166,6 +198,34 @@ func MeasuresFor(scheme Scheme) []Measure {
 		return []Measure{
 			preorderMeasure([]Sign{Neg, Pos}),
 		}
+	case MeshDir:
+		// Order: MeshUp, MeshDown.
+		return []Measure{
+			idMeasure([]Sign{Neg, Pos}),
+		}
+	case CirculantDir:
+		// Order: F, B, WF, WB. Forward steps that wrap land on a smaller
+		// id; backward steps that wrap land on a larger one.
+		return []Measure{
+			idMeasure([]Sign{Pos, Neg, Neg, Pos}),
+		}
+	case DragonflyDir:
+		// Order: LU, LD, GU, GD. Group ids are id-ordered, so both up
+		// classes strictly decrease the node id.
+		return []Measure{
+			idMeasure([]Sign{Neg, Pos, Neg, Pos}),
+		}
+	case FlatButterflyDir:
+		// One measure per dimension: direction 2*dim decreases digit dim,
+		// 2*dim+1 increases it, and every other direction leaves it alone.
+		ms := make([]Measure, s.N)
+		for dim := 0; dim < s.N; dim++ {
+			signs := make([]Sign, 2*s.N)
+			signs[2*dim] = Neg
+			signs[2*dim+1] = Pos
+			ms[dim] = digitMeasure(s.K, dim, signs)
+		}
+		return ms
 	default:
 		return nil
 	}

@@ -1,0 +1,274 @@
+package turnmodel
+
+import (
+	"fmt"
+
+	"repro/internal/cgraph"
+)
+
+// This file holds the structure-aware direction schemes for the topology
+// zoo (topology/zoo.go): direction alphabets that classify channels by the
+// family's own coordinates (node ids, dragonfly groups, base-k digits)
+// instead of by the coordinated tree. They certify with measures over the
+// same coordinates, so the certifier covers them exactly like the
+// tree-based schemes.
+
+// Two-direction alphabet of the full-mesh scheme.
+const (
+	// MeshUp labels channels toward a smaller node id.
+	MeshUp Dir = iota
+	// MeshDown labels channels toward a larger node id.
+	MeshDown
+)
+
+// MeshDir is the direction scheme of the VC-free full-mesh routing of Cano
+// et al. (HOTI'25): with every pair of switches directly linked, a total
+// order on node ids splits the channels into UP (toward a smaller id) and
+// DOWN, and prohibiting DOWN -> UP leaves the minimal one-hop paths intact
+// while making the channel dependency graph acyclic — no virtual channels
+// needed. The scheme itself works on any graph; only the "every minimal
+// path survives" property is special to the full mesh.
+type MeshDir struct{}
+
+// Name implements Scheme.
+func (MeshDir) Name() string { return "mesh" }
+
+// NumDirs implements Scheme.
+func (MeshDir) NumDirs() int { return 2 }
+
+// DirName implements Scheme.
+func (MeshDir) DirName(d Dir) string {
+	if d == MeshUp {
+		return "UP"
+	}
+	return "DOWN"
+}
+
+// ChannelDir implements Scheme.
+func (MeshDir) ChannelDir(cg *cgraph.CG, c int) Dir {
+	ch := &cg.Channels[c]
+	if ch.To < ch.From {
+		return MeshUp
+	}
+	return MeshDown
+}
+
+// Four-direction alphabet of the circulant dateline scheme.
+const (
+	// CircF: forward (increasing id) step not crossing the dateline.
+	CircF Dir = iota
+	// CircB: backward step not crossing the dateline.
+	CircB
+	// CircWF: forward step wrapping past node n-1 (crossing the dateline).
+	CircWF
+	// CircWB: backward step wrapping past node 0.
+	CircWB
+)
+
+// CirculantDir is a dateline scheme for ring-like graphs such as the
+// circulant NoCs of Romanov (2019). A channel i -> j is a forward step of
+// d = (j-i) mod n when d <= n/2, else a backward step of n-d; the step
+// additionally crosses the "dateline" between nodes n-1 and 0 when it
+// wraps. Splitting each rotational direction at the dateline is the
+// classic ring deadlock-avoidance trick, recast as a turn model: the
+// prohibitions of CirculantProhibited make the id a strict measure on
+// every class.
+type CirculantDir struct{}
+
+// Name implements Scheme.
+func (CirculantDir) Name() string { return "circulant" }
+
+// NumDirs implements Scheme.
+func (CirculantDir) NumDirs() int { return 4 }
+
+// DirName implements Scheme.
+func (CirculantDir) DirName(d Dir) string {
+	switch d {
+	case CircF:
+		return "F"
+	case CircB:
+		return "B"
+	case CircWF:
+		return "WF"
+	case CircWB:
+		return "WB"
+	default:
+		return fmt.Sprintf("Dir(%d)", d)
+	}
+}
+
+// ChannelDir implements Scheme.
+func (CirculantDir) ChannelDir(cg *cgraph.CG, c int) Dir {
+	ch := &cg.Channels[c]
+	n := cg.Tree.G.N()
+	d := ((ch.To-ch.From)%n + n) % n
+	if 2*d <= n {
+		if ch.From+d < n {
+			return CircF
+		}
+		return CircWF
+	}
+	s := n - d
+	if ch.From-s >= 0 {
+		return CircB
+	}
+	return CircWB
+}
+
+// CirculantProhibited is the prohibited-turn set of the dateline router:
+// F is entered only from injection (nothing turns into F), and WB is a
+// terminal class (nothing leaves WB). The remaining classes are ordered
+// F -> {B, WF, WB}, B <-> WF allowed only as B -> WF and WF -> B (both
+// strictly decrease the id), B -> WB allowed. Every class is strictly
+// monotone in the node id, so the certifier discharges the configuration
+// with the id measure alone.
+func CirculantProhibited() []Turn {
+	return []Turn{
+		{CircB, CircF},
+		{CircWF, CircF},
+		{CircWF, CircWB},
+		{CircWB, CircF},
+		{CircWB, CircB},
+		{CircWB, CircWF},
+	}
+}
+
+// Four-direction alphabet of the dragonfly scheme.
+const (
+	// DFLU: intra-group channel toward a smaller router id.
+	DFLU Dir = iota
+	// DFLD: intra-group channel toward a larger router id.
+	DFLD
+	// DFGU: global channel toward a smaller group id.
+	DFGU
+	// DFGD: global channel toward a larger group id.
+	DFGD
+)
+
+// DragonflyDir classifies dragonfly channels as local (intra-group) or
+// global (inter-group), each split up/down by id order — the turn-model
+// reading of the l-g-l minimal routing hierarchy from the InfiniBand
+// dragonfly-controller line of work (Maglione-Mathey et al.). A is the
+// group size (routers per group); node v belongs to group v/A.
+type DragonflyDir struct {
+	// A is the number of routers per group, as passed to topology.Dragonfly.
+	A int
+}
+
+// Name implements Scheme.
+func (s DragonflyDir) Name() string { return fmt.Sprintf("dragonfly(a=%d)", s.A) }
+
+// NumDirs implements Scheme.
+func (DragonflyDir) NumDirs() int { return 4 }
+
+// DirName implements Scheme.
+func (DragonflyDir) DirName(d Dir) string {
+	switch d {
+	case DFLU:
+		return "LU"
+	case DFLD:
+		return "LD"
+	case DFGU:
+		return "GU"
+	case DFGD:
+		return "GD"
+	default:
+		return fmt.Sprintf("Dir(%d)", d)
+	}
+}
+
+// ChannelDir implements Scheme.
+func (s DragonflyDir) ChannelDir(cg *cgraph.CG, c int) Dir {
+	ch := &cg.Channels[c]
+	if ch.From/s.A == ch.To/s.A {
+		if ch.To < ch.From {
+			return DFLU
+		}
+		return DFLD
+	}
+	if ch.To < ch.From {
+		return DFGU
+	}
+	return DFGD
+}
+
+// DragonflyProhibited is the base prohibited-turn set of the dragonfly
+// scheme: no down class (LD, GD) may turn into an up class (LU, GU). Both
+// up classes strictly decrease the node id and both down classes strictly
+// increase it, so the configuration certifies with the id measure — but on
+// real dragonfly instances the base set disconnects some pairs (the
+// up-phase cannot always reach the right global port), so the DragonflyMin
+// algorithm releases prohibitions per node where the concrete channel
+// dependency graph allows it.
+func DragonflyProhibited() []Turn {
+	return []Turn{
+		{DFLD, DFLU},
+		{DFLD, DFGU},
+		{DFGD, DFLU},
+		{DFGD, DFGU},
+	}
+}
+
+// FlatButterflyDir is the dimension-order scheme for the k-ary n-flat
+// flattened butterfly: channel direction 2*dim + {0 = digit decreases,
+// 1 = digit increases} for the single base-k digit the channel changes.
+// With the FlatButterflyProhibited turns this is plain dimension-order
+// routing, whose direction dependency graph is a DAG.
+type FlatButterflyDir struct {
+	// K is the radix and N the dimension count, as passed to
+	// topology.FlattenedButterfly. 2*N directions must fit MaxDirs.
+	K, N int
+}
+
+// Name implements Scheme.
+func (s FlatButterflyDir) Name() string { return fmt.Sprintf("fbfly(%d-ary %d-flat)", s.K, s.N) }
+
+// NumDirs implements Scheme.
+func (s FlatButterflyDir) NumDirs() int { return 2 * s.N }
+
+// DirName implements Scheme.
+func (s FlatButterflyDir) DirName(d Dir) string {
+	sign := "-"
+	if d%2 == 1 {
+		sign = "+"
+	}
+	return fmt.Sprintf("D%d%s", d/2, sign)
+}
+
+// ChannelDir implements Scheme.
+func (s FlatButterflyDir) ChannelDir(cg *cgraph.CG, c int) Dir {
+	ch := &cg.Channels[c]
+	stride := 1
+	for dim := 0; dim < s.N; dim++ {
+		df := (ch.From / stride) % s.K
+		dt := (ch.To / stride) % s.K
+		if df != dt {
+			if dt < df {
+				return Dir(2 * dim)
+			}
+			return Dir(2*dim + 1)
+		}
+		stride *= s.K
+	}
+	panic(fmt.Sprintf("turnmodel: channel <%d,%d> changes no base-%d digit", ch.From, ch.To, s.K))
+}
+
+// FlatButterflyProhibited is dimension-order routing as a turn set: within
+// a dimension the two rotations may not reverse into each other, and no
+// turn may re-enter a lower dimension. The allowed-turn DDG is a DAG
+// ordered by dimension, certified by one digit measure per dimension.
+func FlatButterflyProhibited(n int) []Turn {
+	var ts []Turn
+	for dim := 0; dim < n; dim++ {
+		lo, hi := Dir(2*dim), Dir(2*dim+1)
+		ts = append(ts, Turn{lo, hi}, Turn{hi, lo})
+		for prev := 0; prev < dim; prev++ {
+			for _, from := range []Dir{lo, hi} {
+				for _, to := range []Dir{Dir(2 * prev), Dir(2*prev + 1)} {
+					ts = append(ts, Turn{from, to})
+				}
+			}
+		}
+	}
+	return ts
+}

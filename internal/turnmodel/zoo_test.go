@@ -1,0 +1,140 @@
+package turnmodel
+
+import (
+	"testing"
+
+	"repro/internal/cgraph"
+	"repro/internal/ctree"
+	"repro/internal/topology"
+)
+
+func zooCG(t *testing.T, build func() (*topology.Graph, error)) *cgraph.CG {
+	t.Helper()
+	g, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ctree.Build(g, ctree.M1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cgraph.Build(tr)
+}
+
+// Every zoo scheme must certify its family's uniform base configuration
+// through the measure machinery, with the declared signs validated against
+// a real instance of the home topology.
+func TestZooSchemesCertify(t *testing.T) {
+	cases := []struct {
+		name       string
+		cg         *cgraph.CG
+		scheme     Scheme
+		prohibited []Turn
+	}{
+		{"mesh", zooCG(t, func() (*topology.Graph, error) { return topology.FullMesh(8) }),
+			MeshDir{}, []Turn{{MeshDown, MeshUp}}},
+		{"circulant", zooCG(t, func() (*topology.Graph, error) { return topology.Circulant(16, 1, 4) }),
+			CirculantDir{}, CirculantProhibited()},
+		{"dragonfly", zooCG(t, func() (*topology.Graph, error) { return topology.Dragonfly(3, 2, 1) }),
+			DragonflyDir{A: 3}, DragonflyProhibited()},
+		{"fbfly", zooCG(t, func() (*topology.Graph, error) { return topology.FlattenedButterfly(3, 3) }),
+			FlatButterflyDir{K: 3, N: 3}, FlatButterflyProhibited(3)},
+	}
+	for _, c := range cases {
+		measures := MeasuresFor(c.scheme)
+		if measures == nil {
+			t.Fatalf("%s: no measures registered", c.name)
+		}
+		if err := ValidateMeasures(c.cg, c.scheme, measures); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+		mask := NewMask(c.scheme.NumDirs(), c.prohibited)
+		if err := CertifyAcyclic(c.scheme.NumDirs(), mask, measures); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+		// The exact channel-level check agrees on the concrete instance.
+		sys := NewSystem(c.cg, c.scheme, mask)
+		if cyc := sys.FindTurnCycle(); cyc != nil {
+			t.Errorf("%s: turn cycle %s", c.name, sys.DescribeCycle(cyc))
+		}
+	}
+}
+
+// The certifier must refuse an uncertifiable configuration: allowing every
+// turn of the circulant alphabet leaves a mixed-sign SCC.
+func TestZooCertifyRejectsUnrestricted(t *testing.T) {
+	measures := MeasuresFor(CirculantDir{})
+	mask := NewMask(4, nil)
+	if err := CertifyAcyclic(4, mask, measures); err == nil {
+		t.Fatal("unrestricted circulant configuration certified")
+	}
+}
+
+func TestZooSchemeNamesAndDirs(t *testing.T) {
+	if (MeshDir{}).Name() != "mesh" || (MeshDir{}).NumDirs() != 2 {
+		t.Error("MeshDir identity changed")
+	}
+	if got := (MeshDir{}).DirName(MeshUp); got != "UP" {
+		t.Errorf("MeshDir UP = %q", got)
+	}
+	if (CirculantDir{}).NumDirs() != 4 {
+		t.Error("CirculantDir alphabet changed")
+	}
+	for d, want := range map[Dir]string{CircF: "F", CircB: "B", CircWF: "WF", CircWB: "WB"} {
+		if got := (CirculantDir{}).DirName(d); got != want {
+			t.Errorf("CirculantDir.DirName(%d) = %q, want %q", d, got, want)
+		}
+	}
+	if got := (DragonflyDir{A: 4}).Name(); got != "dragonfly(a=4)" {
+		t.Errorf("DragonflyDir name = %q", got)
+	}
+	for d, want := range map[Dir]string{DFLU: "LU", DFLD: "LD", DFGU: "GU", DFGD: "GD"} {
+		if got := (DragonflyDir{A: 4}).DirName(d); got != want {
+			t.Errorf("DragonflyDir.DirName(%d) = %q, want %q", d, got, want)
+		}
+	}
+	s := FlatButterflyDir{K: 4, N: 3}
+	if s.NumDirs() != 6 {
+		t.Error("FlatButterflyDir alphabet size")
+	}
+	if got := s.DirName(4); got != "D2-" {
+		t.Errorf("FlatButterflyDir.DirName(4) = %q", got)
+	}
+	if got := s.DirName(5); got != "D2+" {
+		t.Errorf("FlatButterflyDir.DirName(5) = %q", got)
+	}
+}
+
+// The circulant classification must put the two halves of a link into
+// consistent classes: a channel and its reverse are never both dateline
+// crossings, and forward/backward pair up with the declared id signs.
+func TestCirculantDirConsistency(t *testing.T) {
+	cg := zooCG(t, func() (*topology.Graph, error) { return topology.Circulant(16, 1, 4, 8) })
+	scheme := CirculantDir{}
+	for c := range cg.Channels {
+		rev := cg.Reverse(c)
+		d, dr := scheme.ChannelDir(cg, c), scheme.ChannelDir(cg, rev)
+		ch := &cg.Channels[c]
+		switch d {
+		case CircF:
+			if ch.To <= ch.From {
+				t.Fatalf("F channel <%d,%d> not increasing", ch.From, ch.To)
+			}
+			if dr != CircB && dr != CircWF {
+				t.Fatalf("reverse of F is %s", scheme.DirName(dr))
+			}
+		case CircB:
+			if ch.To >= ch.From {
+				t.Fatalf("B channel <%d,%d> not decreasing", ch.From, ch.To)
+			}
+		case CircWF:
+			if ch.To >= ch.From {
+				t.Fatalf("WF channel <%d,%d> must wrap to a smaller id", ch.From, ch.To)
+			}
+		case CircWB:
+			if ch.To <= ch.From {
+				t.Fatalf("WB channel <%d,%d> must wrap to a larger id", ch.From, ch.To)
+			}
+		}
+	}
+}

@@ -612,3 +612,83 @@ func FormatTurnSearch(r *TurnSearchStudyResults) string { return harness.FormatT
 
 // TurnSearchJSON renders a turn-search study as deterministic JSON.
 func TurnSearchJSON(r *TurnSearchStudyResults) ([]byte, error) { return harness.TurnSearchJSON(r) }
+
+// Topology zoo: deterministic structured families (full mesh, dragonfly,
+// circulant, flattened butterfly) with structure-aware native routers and
+// the cross-family shootout that races them against the paper's
+// tree-based algorithms (see internal/topology's zoo generators and
+// harness.ZooStudy).
+type (
+	// TopologyStructure is the family/parameters/coordinates label the zoo
+	// generators attach to their graphs.
+	TopologyStructure = topology.Structure
+	// ValiantSource is a path source that prefixes a random certified-legal
+	// detour to a random intermediate switch (Valiant load balancing).
+	ValiantSource = routing.Valiant
+	// ZooStudyOptions configures the cross-family shootout.
+	ZooStudyOptions = harness.ZooOptions
+	// ZooStudyResults is the shootout output behind results/BENCH_zoo.json.
+	ZooStudyResults = harness.ZooResults
+	// ZooStudyFamily is one topology family's block of the shootout.
+	ZooStudyFamily = harness.ZooFamily
+	// ZooStudyPoint is one (family, router) row of the shootout.
+	ZooStudyPoint = harness.ZooPoint
+)
+
+// FullMeshNetwork returns the complete graph on n switches, labeled with
+// the full-mesh family.
+func FullMeshNetwork(n int) (*Graph, error) { return topology.FullMesh(n) }
+
+// DragonflyNetwork returns the balanced dragonfly with a routers per
+// group, p terminals per router, and h global links per router.
+func DragonflyNetwork(a, p, h int) (*Graph, error) { return topology.Dragonfly(a, p, h) }
+
+// CirculantNetwork returns the circulant graph C(n; gens).
+func CirculantNetwork(n int, gens ...int) (*Graph, error) { return topology.Circulant(n, gens...) }
+
+// FlattenedButterflyNetwork returns the k-ary n-flat flattened butterfly.
+func FlattenedButterflyNetwork(k, n int) (*Graph, error) {
+	return topology.FlattenedButterfly(k, n)
+}
+
+// FullMeshVCFree returns the HOTI'25-style VC-free full-mesh router.
+func FullMeshVCFree() Algorithm { return routing.FullMeshVCFree{} }
+
+// DragonflyMinimal returns minimal dragonfly routing for groups of a
+// routers.
+func DragonflyMinimal(a int) Algorithm { return routing.DragonflyMin{A: a} }
+
+// CirculantDateline returns the dateline shortest-path circulant router.
+func CirculantDateline() Algorithm { return routing.CirculantDateline{} }
+
+// FlatButterflyDOR returns dimension-order routing for the k-ary n-flat
+// flattened butterfly.
+func FlatButterflyDOR(k, n int) Algorithm { return routing.FlatButterflyDOR{K: k, N: n} }
+
+// NativeAlgorithm returns the structure-aware router native to a graph's
+// family label (DOWN/UP with automatic scheme selection for unlabeled
+// graphs).
+func NativeAlgorithm(g *Graph) Algorithm { return harness.NativeFor(g) }
+
+// NewValiantSource wraps a routing table in a Valiant-style non-minimal
+// path source; every emitted path stays inside the table's certified turn
+// configuration.
+func NewValiantSource(tb *Table) *ValiantSource { return routing.NewValiant(tb) }
+
+// DefaultZooStudyOptions returns the paper-scale shootout behind
+// `make zoo`.
+func DefaultZooStudyOptions() ZooStudyOptions { return harness.DefaultZooOptions() }
+
+// QuickZooStudyOptions returns the scaled-down shootout for smoke tests.
+func QuickZooStudyOptions() ZooStudyOptions { return harness.QuickZooOptions() }
+
+// RunZooStudy runs the cross-family routing shootout: every zoo family ×
+// {DOWN/UP, up*/down*, L-turn, family-native router}, each certified by
+// the exact existence check before simulation.
+func RunZooStudy(opts ZooStudyOptions) (*ZooStudyResults, error) { return harness.ZooStudy(opts) }
+
+// FormatZoo renders a zoo study as text.
+func FormatZoo(r *ZooStudyResults) string { return harness.FormatZoo(r) }
+
+// ZooJSON renders a zoo study as deterministic JSON.
+func ZooJSON(r *ZooStudyResults) ([]byte, error) { return harness.ZooJSON(r) }
